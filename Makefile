@@ -1,0 +1,33 @@
+# DX100 reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench examples figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every figure/table (tens of minutes; see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -timeout=120m .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/spmv
+	$(GO) run ./examples/hashjoin
+	$(GO) run ./examples/graph
+
+# Quick look at the headline result (Figure 9 on a subset).
+figures:
+	$(GO) run ./cmd/dx100sim -fig 9 -scale 4 -workloads IS,GZZ,XRAGE,PR
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,190 @@
+// Package dx100bench regenerates every table and figure of the
+// paper's evaluation (§6) as Go benchmarks. Each benchmark runs the
+// corresponding experiment end-to-end on the simulator and reports the
+// headline metric the paper quotes (speedup geomean, bandwidth ratio,
+// ...) via b.ReportMetric, printing the full series so the rows can be
+// compared against the paper.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Scales are chosen so the whole suite completes in tens of minutes;
+// EXPERIMENTS.md records the mapping to the paper's dataset sizes.
+package dx100bench
+
+import (
+	"fmt"
+	"testing"
+
+	"dx100/internal/amodel"
+	"dx100/internal/exp"
+	"dx100/internal/sim"
+)
+
+const (
+	// mainScale sizes Figures 9-12 (indirect footprints of 16-32 MB,
+	// well past the 8-10 MB LLC, like the paper's datasets).
+	mainScale = 8
+	// sweepScale sizes the tile-size and scalability sweeps, which
+	// multiply the run count.
+	sweepScale = 4
+)
+
+// mainRows caches the Fig 9-12 runs: the four figures share them, as
+// in the paper.
+var mainRows []exp.MainRow
+
+func mainEval(b *testing.B) []exp.MainRow {
+	b.Helper()
+	if mainRows == nil {
+		rows, err := exp.MainEvaluation(mainScale, nil, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mainRows = rows
+	}
+	return mainRows
+}
+
+func BenchmarkFig8aAllHit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := exp.Fig8aAllHit(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+}
+
+func BenchmarkFig8bcAllMiss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := exp.Fig8bcAllMiss()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+}
+
+func BenchmarkFig9Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := mainEval(b)
+		s := exp.Fig9(rows)
+		fmt.Println(s)
+		var sps []float64
+		for _, r := range rows {
+			sps = append(sps, r.Speedup())
+		}
+		b.ReportMetric(sim.Geomean(sps), "speedup_geomean")
+	}
+}
+
+func BenchmarkFig10Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := mainEval(b)
+		s := exp.Fig10(rows)
+		fmt.Println(s)
+		var bw []float64
+		for _, r := range rows {
+			if r.Base.BWUtil > 0 {
+				bw = append(bw, r.DX.BWUtil/r.Base.BWUtil)
+			}
+		}
+		b.ReportMetric(sim.Geomean(bw), "bw_ratio_geomean")
+	}
+}
+
+func BenchmarkFig11CoreStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := mainEval(b)
+		s := exp.Fig11(rows)
+		fmt.Println(s)
+		var ir []float64
+		for _, r := range rows {
+			if r.DX.Instructions > 0 {
+				ir = append(ir, r.Base.Instructions/r.DX.Instructions)
+			}
+		}
+		b.ReportMetric(sim.Geomean(ir), "instr_reduction_geomean")
+	}
+}
+
+func BenchmarkFig12VsDMP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := mainEval(b)
+		s := exp.Fig12(rows)
+		fmt.Println(s)
+		var sps []float64
+		for _, r := range rows {
+			if r.HasDMP {
+				sps = append(sps, r.SpeedupVsDMP())
+			}
+		}
+		b.ReportMetric(sim.Geomean(sps), "speedup_vs_dmp_geomean")
+	}
+}
+
+// sweepSet is the workload subset the multiplicative sweeps run on:
+// two RMW kernels, a direct-range kernel, an indirect-range kernel, a
+// scatter and an address-calculation kernel — one of each shape.
+var sweepSet = []string{"IS", "GZZ", "PR", "GZZI", "XRAGE", "PRH"}
+
+func BenchmarkFig13TileSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := exp.Fig13TileSize(sweepScale, sweepSet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+}
+
+func BenchmarkFig14Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := exp.Fig14Scalability(sweepScale/2, sweepSet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+}
+
+func BenchmarkTable4AreaPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := amodel.Format()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println("== Table 4: area and power ==")
+			fmt.Print(out)
+		}
+		sum, err := amodel.Summarize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.Area14, "area_mm2_14nm")
+	}
+}
+
+func BenchmarkEnergyEstimate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.MainEvaluation(2, sweepSet, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := exp.EnergyTable(rows)
+		fmt.Println(s)
+	}
+}
+
+func BenchmarkAblationReorder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := exp.AblationReorder(sweepScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+}

@@ -1,0 +1,189 @@
+// Command dx100sim runs the DX100 reproduction: single workloads on
+// any of the three systems (baseline, baseline+DMP, DX100), or the
+// full experiment behind any figure or table of the paper.
+//
+// Usage:
+//
+//	dx100sim -list                          # workloads and Table 1 patterns
+//	dx100sim -config                        # Table 3 system configuration
+//	dx100sim -run IS -mode dx100 -scale 8   # one run with metrics
+//	dx100sim -fig 9 -scale 8                # regenerate a figure
+//	dx100sim -fig all -scale 8              # everything (slow)
+//	dx100sim -table4                        # area/power model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dx100/internal/amodel"
+	"dx100/internal/exp"
+	"dx100/internal/loopir"
+	"dx100/internal/workloads"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list workloads with their Table 1 patterns")
+		config  = flag.Bool("config", false, "print the Table 3 system configuration")
+		table4  = flag.Bool("table4", false, "print the Table 4 area/power model")
+		run     = flag.String("run", "", "run one workload by name")
+		mode    = flag.String("mode", "dx100", "system: baseline, dmp or dx100")
+		scale   = flag.Int("scale", 4, "dataset scale factor (1 = smoke test, 8+ = evaluation)")
+		fig     = flag.String("fig", "", "regenerate a figure: 8a, 8bc, 9, 10, 11, 12, 13, 14, ablation or all")
+		names   = flag.String("workloads", "", "comma-separated workload subset for -fig")
+		verbose = flag.Bool("v", false, "dump raw statistics after -run")
+	)
+	flag.Parse()
+	switch {
+	case *list:
+		listWorkloads()
+	case *config:
+		printConfig()
+	case *table4:
+		printTable4()
+	case *run != "":
+		runOne(*run, *mode, *scale, *verbose)
+	case *fig != "":
+		runFigure(*fig, *scale, subset(*names))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func subset(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func listWorkloads() {
+	fmt.Println("Table 1: common data access patterns of irregular applications")
+	for _, name := range workloads.Order {
+		inst := workloads.Registry[name](1)
+		rep := loopir.Analyze(inst.Kernels[0])
+		fmt.Printf("  %-6s %-55s depth=%d ranges=%d\n", name, inst.Pattern, rep.MaxDepth, rep.RangeLoops)
+	}
+}
+
+func printConfig() {
+	cfg := exp.Default(exp.DX)
+	fmt.Println("Table 3 system configuration (DX100 variant):")
+	fmt.Printf("  cores: %d x %d-wide, ROB %d, LQ %d, SQ %d\n",
+		cfg.Cores, cfg.Core.Width, cfg.Core.ROB, cfg.Core.LQ, cfg.Core.SQ)
+	fmt.Printf("  LLC: %d MB (baseline: %d MB)\n", cfg.LLCBytes>>20, exp.Default(exp.Baseline).LLCBytes>>20)
+	d := cfg.DRAM
+	fmt.Printf("  memory: %d channels DDR4-3200, %d bank groups x %d banks, %d B rows, request buffer %d/channel\n",
+		d.Channels, d.BankGroups, d.Banks, d.RowBytes, d.RequestBuffer)
+	fmt.Printf("  timing (tCK): tRP/tRCD=%d, tCCD_S/L=%d/%d, tRTP=%d, tRAS=%d, CL=%d\n",
+		d.TRP, d.TCCDS, d.TCCDL, d.TRTP, d.TRAS, d.CL)
+	a := cfg.Accel
+	fmt.Printf("  DX100: %d tiles x %d elems, row table %dx%d per bank, %d ALU lanes, %d-entry TLB\n",
+		a.Machine.Tiles, a.Machine.TileElems, a.RowTable.Rows, a.RowTable.Cols, a.ALULanes, a.TLBEntries)
+}
+
+func printTable4() {
+	out, err := amodel.Format()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Table 4: DX100 area and power at 28 nm")
+	fmt.Print(out)
+}
+
+func runOne(name, modeStr string, scale int, verbose bool) {
+	var m exp.Mode
+	switch modeStr {
+	case "baseline":
+		m = exp.Baseline
+	case "dmp":
+		m = exp.DMP
+	case "dx100":
+		m = exp.DX
+	default:
+		fatal(fmt.Errorf("unknown mode %q", modeStr))
+	}
+	res, err := exp.Run(name, scale, exp.Default(m))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s (scale %d):\n", name, modeStr, scale)
+	fmt.Printf("  cycles:             %d\n", res.Cycles)
+	fmt.Printf("  core instructions:  %.0f\n", res.Instructions)
+	fmt.Printf("  DRAM bandwidth:     %.1f%%\n", 100*res.BWUtil)
+	fmt.Printf("  row-buffer hits:    %.1f%%\n", 100*res.RBH)
+	fmt.Printf("  buffer occupancy:   %.1f%%\n", 100*res.Occupancy)
+	fmt.Printf("  L1 MPKI:            %.2f\n", res.MPKI)
+	if verbose {
+		fmt.Println(res.Stats)
+	}
+}
+
+func runFigure(fig string, scale int, names []string) {
+	switch fig {
+	case "8a":
+		show(exp.Fig8aAllHit(scale))
+	case "8bc":
+		show(exp.Fig8bcAllMiss())
+	case "9", "10", "11", "12":
+		rows, err := exp.MainEvaluation(scale, names, fig == "12")
+		if err != nil {
+			fatal(err)
+		}
+		switch fig {
+		case "9":
+			fmt.Println(exp.Fig9(rows))
+		case "10":
+			fmt.Println(exp.Fig10(rows))
+		case "11":
+			fmt.Println(exp.Fig11(rows))
+		case "12":
+			fmt.Println(exp.Fig12(rows))
+		}
+	case "energy":
+		rows, err := exp.MainEvaluation(scale, names, false)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.EnergyTable(rows))
+	case "13":
+		show(exp.Fig13TileSize(scale, names))
+	case "14":
+		show(exp.Fig14Scalability(scale, names))
+	case "ablation":
+		show(exp.AblationReorder(scale, names))
+	case "all":
+		show(exp.Fig8aAllHit(scale))
+		show(exp.Fig8bcAllMiss())
+		rows, err := exp.MainEvaluation(scale, names, true)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.Fig9(rows))
+		fmt.Println(exp.Fig10(rows))
+		fmt.Println(exp.Fig11(rows))
+		fmt.Println(exp.Fig12(rows))
+		show(exp.Fig13TileSize(scale/2+1, names))
+		show(exp.Fig14Scalability(scale/2+1, names))
+		show(exp.AblationReorder(scale, names))
+		printTable4()
+	default:
+		fatal(fmt.Errorf("unknown figure %q", fig))
+	}
+}
+
+func show(s *exp.Series, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dx100sim:", err)
+	os.Exit(1)
+}

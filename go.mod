@@ -1,0 +1,3 @@
+module dx100
+
+go 1.22

@@ -1,0 +1,129 @@
+// Package amodel reproduces the paper's area and power analysis
+// (Table 4, §6.5): per-component figures from the 28 nm synthesis,
+// plus the Stillmaker-Baas technology-scaling equations used to
+// compare DX100 against a 14 nm Skylake core and cache slice.
+package amodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Component is one row of Table 4.
+type Component struct {
+	Name    string
+	AreaMM2 float64 // 28 nm
+	PowerMW float64 // 28 nm
+}
+
+// Table4 returns the published per-component breakdown at 28 nm.
+func Table4() []Component {
+	return []Component{
+		{"Range Fuser", 0.001, 0.26},
+		{"ALU", 0.095, 74.83},
+		{"Stream Access", 0.012, 6.03},
+		{"Indirect Access", 0.323, 83.70},
+		{"Controller", 0.002, 0.43},
+		{"Interface", 0.045, 30.0},
+		{"Coherency Agent", 0.010, 3.12},
+		{"Register File", 0.005, 1.56},
+		{"Scratchpad", 3.566, 577.03},
+	}
+}
+
+// Totals sums a component list.
+func Totals(cs []Component) (area, power float64) {
+	for _, c := range cs {
+		area += c.AreaMM2
+		power += c.PowerMW
+	}
+	return area, power
+}
+
+// areaScale holds the Stillmaker-Baas area scaling factors relative to
+// a 180 nm baseline (Table 4 of Stillmaker & Baas, Integration 2017,
+// general-purpose process). Area scales with the square of the feature
+// dimension to first order; the published factors fold in real library
+// deviations from ideal shrink.
+var areaScale = map[int]float64{
+	180: 1.0,
+	130: 0.53,
+	90:  0.28,
+	65:  0.143,
+	45:  0.0696,
+	32:  0.0352,
+	28:  0.0270,
+	20:  0.0137,
+	16:  0.00784,
+	14:  0.00672,
+	10:  0.00343,
+	7:   0.00168,
+}
+
+// ScaleArea converts an area from one node to another using the
+// Stillmaker-Baas factors.
+func ScaleArea(area float64, fromNM, toNM int) (float64, error) {
+	f, ok1 := areaScale[fromNM]
+	t, ok2 := areaScale[toNM]
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("amodel: unsupported node %d or %d nm", fromNM, toNM)
+	}
+	return area * t / f, nil
+}
+
+// Skylake14nm holds the die-shot reference figures of §6.5: a 14 nm
+// Skylake core is about 10.1 mm^2, of which a 2 MB cache slice is
+// about 2.3 mm^2.
+const (
+	SkylakeCoreMM2 = 10.1
+	CacheSliceMM2  = 2.3
+	SkylakeCores   = 4
+)
+
+// Summary is the derived comparison of §6.5.
+type Summary struct {
+	Area28       float64
+	Power28      float64
+	Area14       float64
+	OverheadPct  float64 // vs a 4-core processor
+	VsCacheSlice float64 // DX100 area / one 2MB LLC slice
+}
+
+// Summarize reproduces the §6.5 arithmetic: total the 28 nm table,
+// scale the area to 14 nm, and compare with the processor.
+func Summarize() (Summary, error) {
+	area, power := Totals(Table4())
+	a14, err := ScaleArea(area, 28, 14)
+	if err != nil {
+		return Summary{}, err
+	}
+	proc := SkylakeCoreMM2 * SkylakeCores
+	return Summary{
+		Area28:       area,
+		Power28:      power,
+		Area14:       a14,
+		OverheadPct:  100 * a14 / proc,
+		VsCacheSlice: a14 / CacheSliceMM2,
+	}, nil
+}
+
+// Format renders Table 4 plus the derived summary.
+func Format() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %10s %10s\n", "Module", "Area(mm2)", "Power(mW)")
+	cs := Table4()
+	sort.SliceStable(cs, func(i, j int) bool { return false }) // keep paper order
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%-18s %10.3f %10.2f\n", c.Name, c.AreaMM2, c.PowerMW)
+	}
+	area, power := Totals(cs)
+	fmt.Fprintf(&b, "%-18s %10.3f %10.2f\n", "Total", area, power)
+	s, err := Summarize()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\n14nm area: %.2f mm2 (%.1f%% of a 4-core processor; %.2fx a 2MB cache slice)\n",
+		s.Area14, s.OverheadPct, s.VsCacheSlice)
+	return b.String(), nil
+}

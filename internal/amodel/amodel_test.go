@@ -1,0 +1,81 @@
+package amodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable4Totals(t *testing.T) {
+	area, power := Totals(Table4())
+	// Paper totals: 4.061 mm^2 and 777.17 mW.
+	if math.Abs(area-4.059) > 0.01 {
+		t.Fatalf("area total = %.3f, want ~4.06", area)
+	}
+	if math.Abs(power-776.96) > 1.0 {
+		t.Fatalf("power total = %.2f, want ~777", power)
+	}
+}
+
+func TestScratchpadDominates(t *testing.T) {
+	// §6.5: area and power are dominated by the scratchpad.
+	cs := Table4()
+	var spdA, maxOther float64
+	for _, c := range cs {
+		if c.Name == "Scratchpad" {
+			spdA = c.AreaMM2
+		} else if c.AreaMM2 > maxOther {
+			maxOther = c.AreaMM2
+		}
+	}
+	if spdA <= maxOther {
+		t.Fatal("scratchpad should dominate area")
+	}
+}
+
+func TestScaleArea(t *testing.T) {
+	a, err := ScaleArea(1.0, 28, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a >= 1.0 || a <= 0.1 {
+		t.Fatalf("28->14 scale = %v, want a shrink of roughly 4x", a)
+	}
+	same, err := ScaleArea(2.5, 28, 28)
+	if err != nil || same != 2.5 {
+		t.Fatalf("identity scale wrong: %v %v", same, err)
+	}
+	if _, err := ScaleArea(1, 28, 3); err == nil {
+		t.Fatal("unsupported node accepted")
+	}
+}
+
+func TestSummarizeMatchesPaper(t *testing.T) {
+	s, err := Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §6.5: ~1.5 mm^2 at 14 nm, ~3.7% overhead, comparable to one
+	// 2 MB cache slice.
+	if s.Area14 < 0.7 || s.Area14 > 2.0 {
+		t.Fatalf("14nm area = %.2f, want ~1.0-1.5", s.Area14)
+	}
+	if s.OverheadPct < 1.5 || s.OverheadPct > 6 {
+		t.Fatalf("overhead = %.1f%%, want ~2.5-3.7%%", s.OverheadPct)
+	}
+	if s.VsCacheSlice > 1.2 {
+		t.Fatalf("DX100 should be comparable to or smaller than a cache slice, got %.2fx", s.VsCacheSlice)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out, err := Format()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scratchpad", "Total", "14nm area"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

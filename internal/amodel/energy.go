@@ -1,0 +1,82 @@
+package amodel
+
+import "dx100/internal/sim"
+
+// EnergyParams holds per-event energy estimates, in picojoules, for
+// the 14 nm system. The values follow the usual architecture-community
+// rules of thumb (Horowitz, ISSCC 2014, scaled): a DRAM access costs
+// orders of magnitude more than a cache hit, which costs more than an
+// ALU operation — the gap that makes data movement, not compute, the
+// budget irregular applications spend (§1).
+type EnergyParams struct {
+	DRAMAccessPJ float64 // one 64-byte DRAM burst
+	LLCAccessPJ  float64 // one LLC access
+	L2AccessPJ   float64 // one L2 access
+	L1AccessPJ   float64 // one L1D access
+	CoreInstrPJ  float64 // average core instruction (fetch/decode/execute)
+	SPDAccessPJ  float64 // one DX100 scratchpad element access
+	DXElemPJ     float64 // one DX100 fill/ALU element operation
+	// DXStaticMW is DX100's power draw while active (Table 4, scaled
+	// to 14 nm).
+	DXStaticMW float64
+	// ClockGHz converts cycles to time for static energy.
+	ClockGHz float64
+}
+
+// DefaultEnergy returns the 14 nm estimates used by the harness.
+func DefaultEnergy() EnergyParams {
+	return EnergyParams{
+		DRAMAccessPJ: 10000, // ~20 pJ/bit over a 512-bit burst
+		LLCAccessPJ:  600,
+		L2AccessPJ:   150,
+		L1AccessPJ:   30,
+		CoreInstrPJ:  70,
+		SPDAccessPJ:  15,
+		DXElemPJ:     5,
+		DXStaticMW:   300, // 777 mW at 28 nm, scaled
+		ClockGHz:     3.2,
+	}
+}
+
+// Energy is a per-run breakdown in microjoules.
+type Energy struct {
+	DRAM    float64
+	Caches  float64
+	Core    float64
+	DX100   float64
+	TotalUJ float64
+}
+
+// Counters is the slice of run statistics the energy model consumes.
+type Counters struct {
+	DRAMAccesses float64
+	LLCAccesses  float64
+	L2Accesses   float64
+	L1Accesses   float64
+	Instructions float64
+	SPDAccesses  float64
+	DXElems      float64
+	Cycles       sim.Cycle
+	DXActive     bool
+}
+
+// Estimate folds run counters into an energy breakdown.
+func (p EnergyParams) Estimate(c Counters) Energy {
+	var e Energy
+	e.DRAM = c.DRAMAccesses * p.DRAMAccessPJ
+	e.Caches = c.LLCAccesses*p.LLCAccessPJ + c.L2Accesses*p.L2AccessPJ + c.L1Accesses*p.L1AccessPJ
+	e.Core = c.Instructions * p.CoreInstrPJ
+	e.DX100 = c.SPDAccesses*p.SPDAccessPJ + c.DXElems*p.DXElemPJ
+	if c.DXActive {
+		seconds := float64(c.Cycles) / (p.ClockGHz * 1e9)
+		e.DX100 += p.DXStaticMW * 1e-3 * seconds * 1e12 // mW * s -> pJ
+	}
+	pj := e.DRAM + e.Caches + e.Core + e.DX100
+	e.TotalUJ = pj * 1e-6
+	// Convert the components to microjoules too.
+	e.DRAM *= 1e-6
+	e.Caches *= 1e-6
+	e.Core *= 1e-6
+	e.DX100 *= 1e-6
+	return e
+}

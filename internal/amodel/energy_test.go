@@ -1,0 +1,47 @@
+package amodel
+
+import "testing"
+
+func TestEnergyHierarchy(t *testing.T) {
+	// The cost hierarchy must hold: DRAM >> LLC > L2 > L1 > instr >
+	// SPD/element ops (Horowitz's gap).
+	p := DefaultEnergy()
+	if !(p.DRAMAccessPJ > p.LLCAccessPJ && p.LLCAccessPJ > p.L2AccessPJ &&
+		p.L2AccessPJ > p.L1AccessPJ && p.L1AccessPJ < p.CoreInstrPJ*10 &&
+		p.SPDAccessPJ < p.L1AccessPJ) {
+		t.Fatal("energy hierarchy violated")
+	}
+}
+
+func TestEnergyEstimateComposition(t *testing.T) {
+	p := DefaultEnergy()
+	e := p.Estimate(Counters{DRAMAccesses: 1000})
+	if e.DRAM <= 0 || e.Caches != 0 || e.Core != 0 {
+		t.Fatalf("composition wrong: %+v", e)
+	}
+	wantUJ := 1000 * p.DRAMAccessPJ * 1e-6
+	if e.TotalUJ != wantUJ {
+		t.Fatalf("total = %v, want %v", e.TotalUJ, wantUJ)
+	}
+}
+
+func TestEnergyStaticOnlyWhenActive(t *testing.T) {
+	p := DefaultEnergy()
+	off := p.Estimate(Counters{Cycles: 1_000_000})
+	on := p.Estimate(Counters{Cycles: 1_000_000, DXActive: true})
+	if off.DX100 != 0 {
+		t.Fatal("static energy charged while inactive")
+	}
+	if on.DX100 <= 0 {
+		t.Fatal("no static energy while active")
+	}
+}
+
+func TestEnergyMoreAccessesMoreEnergy(t *testing.T) {
+	p := DefaultEnergy()
+	a := p.Estimate(Counters{DRAMAccesses: 100, Instructions: 1000})
+	b := p.Estimate(Counters{DRAMAccesses: 200, Instructions: 2000})
+	if b.TotalUJ <= a.TotalUJ {
+		t.Fatal("energy not monotone in work")
+	}
+}

@@ -1,0 +1,318 @@
+// Package cache models the three-level cache hierarchy of Table 3:
+// per-core L1D and L2 with stride prefetchers, a shared LLC, MSHRs at
+// every level, write-back/write-allocate with LRU replacement, and a
+// DRAM adapter at the bottom. Caches track presence and timing only;
+// data contents live in the shared memspace, which keeps the timing
+// model and the functional model trivially coherent.
+package cache
+
+import (
+	"dx100/internal/memspace"
+	"dx100/internal/sim"
+)
+
+// Kind is the access type seen by a cache.
+type Kind uint8
+
+const (
+	// Load reads a word.
+	Load Kind = iota
+	// Store writes a word (write-allocate).
+	Store
+	// Prefetch fills a line without a waiter.
+	Prefetch
+)
+
+// Level is anything that can service line-granularity accesses: a
+// cache or the DRAM adapter at the bottom of the hierarchy.
+type Level interface {
+	// Access requests the line containing addr. It reports false when
+	// the level cannot accept the access this cycle (MSHRs or ports
+	// exhausted); the caller must retry. onDone (may be nil) fires
+	// when the data is available.
+	Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone func(now sim.Cycle)) bool
+	// Present reports whether the line is resident at this level or
+	// below it short of memory (used by the DX100 coherency snoop).
+	Present(addr memspace.PAddr) bool
+	// Invalidate drops the line at this level and every level above
+	// is handled by the caller (used when DX100 writes memory
+	// directly).
+	Invalidate(addr memspace.PAddr)
+}
+
+// Config sizes one cache.
+type Config struct {
+	Name    string
+	Sets    int
+	Ways    int
+	Latency sim.Cycle // hit latency, also charged on the miss path
+	MSHRs   int
+	Ports   int // accesses accepted per cycle
+	// PrefetchDegree enables an N-line stride prefetcher when > 0.
+	PrefetchDegree int
+}
+
+// SizeBytes returns the capacity of the configuration.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * memspace.LineSize }
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	used  uint64 // LRU stamp
+}
+
+type mshr struct {
+	addr    memspace.PAddr // line address
+	waiters []func(now sim.Cycle)
+	// inflight marks that the request was accepted by the level below
+	// (otherwise it is still being retried).
+	inflight bool
+	kind     Kind
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg    Config
+	eng    *sim.Engine
+	stats  *sim.Stats
+	prefix string
+	below  Level
+	sets   [][]line
+	stamp  uint64
+	mshrs  map[memspace.PAddr]*mshr
+
+	portCycle sim.Cycle
+	portUsed  int
+
+	// blocked holds downstream accesses the level below rejected;
+	// they drain in Tick, avoiding per-cycle retry events.
+	blocked []blockedAccess
+
+	// Stride prefetcher state.
+	lastMiss   memspace.PAddr
+	lastStride int64
+}
+
+// New builds a cache on top of below.
+func New(eng *sim.Engine, cfg Config, below Level, stats *sim.Stats, prefix string) *Cache {
+	c := &Cache{
+		cfg:    cfg,
+		eng:    eng,
+		stats:  stats,
+		prefix: prefix,
+		below:  below,
+		sets:   make([][]line, cfg.Sets),
+		mshrs:  make(map[memspace.PAddr]*mshr),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	eng.Register(c)
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) indexTag(addr memspace.PAddr) (set int, tag uint64) {
+	l := uint64(addr) >> memspace.LineBits
+	return int(l % uint64(c.cfg.Sets)), l / uint64(c.cfg.Sets)
+}
+
+func (c *Cache) lookup(addr memspace.PAddr) *line {
+	set, tag := c.indexTag(addr)
+	for i := range c.sets[set] {
+		if ln := &c.sets[set][i]; ln.valid && ln.tag == tag {
+			return ln
+		}
+	}
+	return nil
+}
+
+// Present implements Level by checking this cache and everything below
+// it (except the memory adapter, whose Present is always false).
+func (c *Cache) Present(addr memspace.PAddr) bool {
+	if c.lookup(addr) != nil {
+		return true
+	}
+	return c.below.Present(addr)
+}
+
+// PresentHere reports residency at this level only.
+func (c *Cache) PresentHere(addr memspace.PAddr) bool { return c.lookup(addr) != nil }
+
+// Invalidate drops the line at this level (writeback of dirty data is
+// skipped: contents live in memspace, so the timing loss is a dropped
+// writeback transaction, acceptable for the invalidation rate DX100
+// generates).
+func (c *Cache) Invalidate(addr memspace.PAddr) {
+	set, tag := c.indexTag(addr)
+	for i := range c.sets[set] {
+		if ln := &c.sets[set][i]; ln.valid && ln.tag == tag {
+			ln.valid = false
+			ln.dirty = false
+		}
+	}
+}
+
+// victim picks the LRU way of the set, writing back a dirty victim.
+func (c *Cache) victim(now sim.Cycle, set int) *line {
+	var v *line
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if !ln.valid {
+			return ln
+		}
+		if v == nil || ln.used < v.used {
+			v = ln
+		}
+	}
+	if v.dirty {
+		c.stats.Inc(c.prefix + "writebacks")
+		wbAddr := memspace.PAddr((v.tag*uint64(c.cfg.Sets) + uint64(set)) << memspace.LineBits)
+		c.retryAccess(now, wbAddr, Store, nil)
+	}
+	return v
+}
+
+type blockedAccess struct {
+	addr   memspace.PAddr
+	kind   Kind
+	onDone func(sim.Cycle)
+}
+
+// retryAccess pushes an access to the level below, queueing it for
+// Tick-time retry if rejected.
+func (c *Cache) retryAccess(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone func(sim.Cycle)) {
+	if len(c.blocked) == 0 && c.below.Access(now, addr, kind, onDone) {
+		return
+	}
+	c.blocked = append(c.blocked, blockedAccess{addr, kind, onDone})
+}
+
+// Access implements Level.
+func (c *Cache) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone func(now sim.Cycle)) bool {
+	if now != c.portCycle {
+		c.portCycle = now
+		c.portUsed = 0
+	}
+	if c.portUsed >= c.cfg.Ports {
+		return false
+	}
+	lineAddr := memspace.LineAddr(addr)
+
+	// Merge into a pending miss for the same line.
+	if m, ok := c.mshrs[lineAddr]; ok {
+		c.portUsed++
+		if kind != Prefetch {
+			c.stats.Inc(c.prefix + "accesses")
+			if onDone != nil {
+				m.waiters = append(m.waiters, onDone)
+			}
+			if kind == Store {
+				m.kind = Store
+			}
+		}
+		return true
+	}
+
+	if ln := c.lookup(lineAddr); ln != nil {
+		c.portUsed++
+		if kind == Prefetch {
+			return true
+		}
+		c.stats.Inc(c.prefix + "accesses")
+		c.stats.Inc(c.prefix + "hits")
+		c.stamp++
+		ln.used = c.stamp
+		if kind == Store {
+			ln.dirty = true
+		}
+		if onDone != nil {
+			c.eng.After(c.cfg.Latency, onDone)
+		}
+		return true
+	}
+
+	// Miss: need an MSHR.
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		return false
+	}
+	c.portUsed++
+	if kind != Prefetch {
+		c.stats.Inc(c.prefix + "accesses")
+		c.stats.Inc(c.prefix + "misses")
+	} else {
+		c.stats.Inc(c.prefix + "prefetches")
+	}
+	m := &mshr{addr: lineAddr, kind: kind}
+	if onDone != nil {
+		m.waiters = append(m.waiters, onDone)
+	}
+	c.mshrs[lineAddr] = m
+	// After the tag-check latency, forward below; on return, fill and
+	// wake the waiters.
+	c.eng.After(c.cfg.Latency, func(n sim.Cycle) {
+		c.retryAccess(n, lineAddr, Load, func(n2 sim.Cycle) { c.fill(n2, m) })
+	})
+	if kind != Prefetch {
+		c.trainPrefetcher(now, lineAddr)
+	}
+	return true
+}
+
+// fill installs the arrived line and wakes the MSHR's waiters.
+func (c *Cache) fill(now sim.Cycle, m *mshr) {
+	set, tag := c.indexTag(m.addr)
+	v := c.victim(now, set)
+	c.stamp++
+	*v = line{valid: true, dirty: m.kind == Store, tag: tag, used: c.stamp}
+	delete(c.mshrs, m.addr)
+	for _, w := range m.waiters {
+		w(now)
+	}
+}
+
+// trainPrefetcher implements a stride prefetcher: two consecutive
+// misses with the same line stride trigger PrefetchDegree prefetches
+// ahead.
+func (c *Cache) trainPrefetcher(now sim.Cycle, missAddr memspace.PAddr) {
+	if c.cfg.PrefetchDegree == 0 {
+		return
+	}
+	stride := int64(missAddr) - int64(c.lastMiss)
+	if c.lastMiss != 0 && stride == c.lastStride && stride != 0 && abs64(stride) <= 4*memspace.LineSize {
+		for d := 1; d <= c.cfg.PrefetchDegree; d++ {
+			pa := memspace.PAddr(int64(missAddr) + stride*int64(d))
+			addr := pa
+			c.eng.After(1, func(n sim.Cycle) {
+				// Best effort: dropped if ports/MSHRs are busy.
+				c.Access(n, addr, Prefetch, nil)
+			})
+		}
+	}
+	c.lastStride = stride
+	c.lastMiss = missAddr
+}
+
+// Tick implements sim.Ticker: it drains rejected downstream accesses
+// as the level below frees up. A cache is busy while misses are
+// outstanding.
+func (c *Cache) Tick(now sim.Cycle) bool {
+	for len(c.blocked) > 0 {
+		b := c.blocked[0]
+		if !c.below.Access(now, b.addr, b.kind, b.onDone) {
+			break
+		}
+		c.blocked = c.blocked[1:]
+	}
+	return len(c.mshrs) > 0 || len(c.blocked) > 0
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

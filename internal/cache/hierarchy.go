@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"dx100/internal/dram"
+	"dx100/internal/memspace"
+	"dx100/internal/sim"
+)
+
+// MemAdapter is the bottom Level: it forwards line accesses into the
+// DRAM system, buffering submissions that the channel request buffer
+// rejects.
+type MemAdapter struct {
+	eng     *sim.Engine
+	sys     *dram.System
+	pending []*dram.Request
+	// MaxPending bounds the overflow buffer; Access refuses beyond it
+	// so the MSHR back-pressure propagates upward.
+	MaxPending int
+}
+
+// NewMemAdapter wraps sys, registering a retry ticker on eng.
+func NewMemAdapter(eng *sim.Engine, sys *dram.System) *MemAdapter {
+	a := &MemAdapter{eng: eng, sys: sys, MaxPending: 512}
+	eng.Register(a)
+	return a
+}
+
+// Access implements Level.
+func (a *MemAdapter) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone func(now sim.Cycle)) bool {
+	k := dram.Read
+	if kind == Store {
+		k = dram.Write
+	}
+	r := &dram.Request{Addr: memspace.LineAddr(addr), Kind: k, OnDone: onDone}
+	if a.sys.Submit(r) {
+		return true
+	}
+	if len(a.pending) >= a.MaxPending {
+		return false
+	}
+	a.pending = append(a.pending, r)
+	return true
+}
+
+// Present implements Level: memory is never "cached here".
+func (a *MemAdapter) Present(memspace.PAddr) bool { return false }
+
+// Invalidate implements Level as a no-op.
+func (a *MemAdapter) Invalidate(memspace.PAddr) {}
+
+// Tick drains the overflow buffer into freed request-buffer slots.
+func (a *MemAdapter) Tick(now sim.Cycle) bool {
+	for len(a.pending) > 0 {
+		if !a.sys.Submit(a.pending[0]) {
+			break
+		}
+		a.pending = a.pending[1:]
+	}
+	return len(a.pending) > 0
+}
+
+// Hierarchy is the full cache system of one processor: per-core L1D
+// and L2, a shared LLC, and the DRAM adapter.
+type Hierarchy struct {
+	L1  []*Cache // per core
+	L2  []*Cache // per core
+	LLC *Cache
+	Mem *MemAdapter
+}
+
+// HierarchyConfig sizes the three levels.
+type HierarchyConfig struct {
+	Cores int
+	L1    Config
+	L2    Config
+	LLC   Config
+	// WrapL2, when set, interposes a Level between each core's L1 and
+	// L2 — the hook the DMP prefetcher model attaches through.
+	WrapL2 func(core int, l2 Level) Level
+}
+
+// SkylakeLike returns the Table 3 configuration: 32 KB/8-way L1D
+// (4 cycles), 256 KB/4-way L2 (12 cycles), and an LLC whose size
+// depends on the system variant (10 MB baseline, 8 MB with DX100); all
+// with stride prefetchers at the private levels.
+func SkylakeLike(cores int, llcBytes int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores: cores,
+		L1: Config{
+			Name: "l1d", Sets: 64, Ways: 8, Latency: 4, MSHRs: 16, Ports: 4,
+			PrefetchDegree: 4,
+		},
+		L2: Config{
+			Name: "l2", Sets: 1024, Ways: 4, Latency: 12, MSHRs: 32, Ports: 2,
+			PrefetchDegree: 8,
+		},
+		LLC: Config{
+			Name: "llc", Sets: llcBytes / (memspace.LineSize * 16), Ways: 16,
+			Latency: 42, MSHRs: 256, Ports: 4,
+		},
+	}
+}
+
+// NewHierarchy builds the cache system on the engine above the DRAM
+// system. Per-core statistics are reported under
+// "<prefix>l1d.core<i>." etc.
+func NewHierarchy(eng *sim.Engine, cfg HierarchyConfig, sys *dram.System, stats *sim.Stats, prefix string) *Hierarchy {
+	h := &Hierarchy{Mem: NewMemAdapter(eng, sys)}
+	h.LLC = New(eng, cfg.LLC, h.Mem, stats, prefix+"llc.")
+	for i := 0; i < cfg.Cores; i++ {
+		l2 := New(eng, cfg.L2, h.LLC, stats, prefix+"l2.")
+		var above Level = l2
+		if cfg.WrapL2 != nil {
+			above = cfg.WrapL2(i, l2)
+		}
+		l1 := New(eng, cfg.L1, above, stats, prefix+"l1d.")
+		h.L2 = append(h.L2, l2)
+		h.L1 = append(h.L1, l1)
+	}
+	return h
+}
+
+// Present reports whether the line is resident anywhere in the
+// hierarchy — the snoop DX100's interface performs during the fill
+// stage (§3.6).
+func (h *Hierarchy) Present(addr memspace.PAddr) bool {
+	if h.LLC.PresentHere(addr) {
+		return true
+	}
+	for i := range h.L1 {
+		if h.L1[i].PresentHere(addr) || h.L2[i].PresentHere(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line everywhere (DX100 coherency agent /
+// direct-memory writes).
+func (h *Hierarchy) Invalidate(addr memspace.PAddr) {
+	h.LLC.Invalidate(addr)
+	for i := range h.L1 {
+		h.L1[i].Invalidate(addr)
+		h.L2[i].Invalidate(addr)
+	}
+}

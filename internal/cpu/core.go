@@ -1,0 +1,339 @@
+package cpu
+
+import (
+	"dx100/internal/cache"
+	"dx100/internal/memspace"
+	"dx100/internal/sim"
+)
+
+// Config carries the structural parameters of Table 3's cores.
+type Config struct {
+	Width     int       // fetch/retire/execute width
+	ROB       int       // reorder-buffer capacity (in instruction weight)
+	LQ        int       // load-queue entries
+	SQ        int       // store-queue entries
+	MemPorts  int       // memory operations issued to L1 per cycle
+	AtomicLat sim.Cycle // extra serialization latency of a locked RMW
+}
+
+// SkylakeLike returns the Table 3 core: 8-wide, ROB 224, LQ 72, SQ 56.
+func SkylakeLike() Config {
+	return Config{Width: 8, ROB: 224, LQ: 72, SQ: 56, MemPorts: 3, AtomicLat: 20}
+}
+
+type state uint8
+
+const (
+	stWaiting state = iota // dependences outstanding
+	stReady                // ready to issue
+	stIssued               // executing / in the memory system
+	stDone                 // completed, awaiting retirement
+)
+
+type entry struct {
+	op      MicroOp
+	state   state
+	waitCnt int
+	wakers  []uint64
+}
+
+// Core executes one µop stream. It is a sim.Ticker.
+type Core struct {
+	cfg       Config
+	eng       *sim.Engine
+	stats     *sim.Stats
+	prefix    string
+	translate func(memspace.VAddr) memspace.PAddr
+	l1        cache.Level
+
+	stream     Stream
+	streamDone bool
+	pending    *MicroOp // fetched op awaiting ROB space
+
+	ring          []entry
+	head          uint64 // oldest unretired seq
+	tail          uint64 // next seq to allocate
+	robUsed       int
+	readyALU      []uint64
+	readyMem      []uint64
+	lqUsed        int
+	sqUsed        int
+	atomicPending bool
+	inflight      int // memory ops issued, completion pending
+
+	finished bool
+}
+
+// NewCore builds a core over the given L1 and translation function,
+// registering it on the engine. Statistics go under prefix.
+func NewCore(eng *sim.Engine, cfg Config, l1 cache.Level, translate func(memspace.VAddr) memspace.PAddr, stats *sim.Stats, prefix string) *Core {
+	c := &Core{
+		cfg:       cfg,
+		eng:       eng,
+		stats:     stats,
+		prefix:    prefix,
+		translate: translate,
+		l1:        l1,
+		ring:      make([]entry, cfg.ROB),
+	}
+	eng.Register(c)
+	return c
+}
+
+// Run assigns the µop stream the core executes. It must be called
+// before the engine runs.
+func (c *Core) Run(s Stream) {
+	c.stream = s
+	c.streamDone = false
+	c.finished = false
+}
+
+// Done reports whether the core has retired its whole stream.
+func (c *Core) Done() bool {
+	return (c.stream == nil || c.streamDone) && c.pending == nil && c.head == c.tail && c.inflight == 0
+}
+
+func (c *Core) at(seq uint64) *entry { return &c.ring[seq%uint64(len(c.ring))] }
+
+// Tick implements sim.Ticker: retire, fetch, then issue.
+func (c *Core) Tick(now sim.Cycle) bool {
+	if c.Done() {
+		if !c.finished {
+			c.finished = true
+			c.stats.Set(c.prefix+"done_cycle", float64(now))
+		}
+		return false
+	}
+	c.stats.Inc(c.prefix + "cycles")
+	c.retire()
+	c.fetch()
+	c.issueBarrier()
+	c.issueALU(now)
+	c.issueMem(now)
+	if c.Done() {
+		if !c.finished {
+			c.finished = true
+			c.stats.Set(c.prefix+"done_cycle", float64(now))
+		}
+		return false
+	}
+	return true
+}
+
+// retire removes completed ops in order, up to Width instruction
+// weight per cycle.
+func (c *Core) retire() {
+	budget := c.cfg.Width
+	for c.head < c.tail && budget > 0 {
+		e := c.at(c.head)
+		if e.state != stDone {
+			return
+		}
+		w := e.op.weight()
+		if w > budget && budget < c.cfg.Width {
+			return // does not fit in what is left of this cycle
+		}
+		budget -= w
+		c.robUsed -= w
+		c.stats.Add(c.prefix+"instructions", float64(w))
+		e.wakers = e.wakers[:0]
+		c.head++
+	}
+}
+
+// fetch pulls new µops into the window, resolving their dependences.
+func (c *Core) fetch() {
+	if c.streamDone || c.stream == nil {
+		return
+	}
+	budget := c.cfg.Width
+	for budget > 0 {
+		// Peek capacity: an op needs ROB weight space and a ring slot.
+		if c.tail-c.head >= uint64(len(c.ring)) {
+			return
+		}
+		var op MicroOp
+		if c.pending != nil {
+			op = *c.pending
+		} else {
+			var ok bool
+			op, ok = c.stream.Next()
+			if !ok {
+				c.streamDone = true
+				return
+			}
+		}
+		w := op.weight()
+		if c.robUsed+w > c.cfg.ROB {
+			// No space: hold the op until retirement frees room.
+			held := op
+			c.pending = &held
+			return
+		}
+		c.pending = nil
+		budget -= w
+		seq := c.tail
+		c.tail++
+		c.robUsed += w
+		e := c.at(seq)
+		*e = entry{op: op, state: stWaiting, wakers: e.wakers[:0]}
+		for _, d := range [2]uint32{op.Dep1, op.Dep2} {
+			if d == 0 || uint64(d) > seq {
+				continue
+			}
+			dep := seq - uint64(d)
+			if dep < c.head {
+				continue // already retired => complete
+			}
+			de := c.at(dep)
+			if de.state == stDone {
+				continue
+			}
+			de.wakers = append(de.wakers, seq)
+			e.waitCnt++
+		}
+		if e.waitCnt == 0 {
+			c.makeReady(seq)
+		}
+	}
+}
+
+func (c *Core) makeReady(seq uint64) {
+	e := c.at(seq)
+	e.state = stReady
+	switch e.op.Kind {
+	case Load, Store, Atomic:
+		// Keep the memory queue ordered by age so that an Atomic at
+		// the front fences only *younger* operations; an older op
+		// becoming ready later must slot in before it.
+		c.readyMem = append(c.readyMem, seq)
+		for i := len(c.readyMem) - 1; i > 0 && c.readyMem[i] < c.readyMem[i-1]; i-- {
+			c.readyMem[i], c.readyMem[i-1] = c.readyMem[i-1], c.readyMem[i]
+		}
+	case Barrier:
+		// Handled at the window head by issueBarrier.
+	default:
+		c.readyALU = append(c.readyALU, seq)
+	}
+}
+
+// complete marks seq done and wakes its dependents.
+func (c *Core) complete(seq uint64) {
+	e := c.at(seq)
+	e.state = stDone
+	for _, w := range e.wakers {
+		we := c.at(w)
+		we.waitCnt--
+		if we.waitCnt == 0 && we.state == stWaiting {
+			c.makeReady(w)
+		}
+	}
+	e.wakers = e.wakers[:0]
+}
+
+// issueBarrier completes a Barrier at the head of the window once its
+// predicate holds — the core spins until then.
+func (c *Core) issueBarrier() {
+	if c.head >= c.tail {
+		return
+	}
+	e := c.at(c.head)
+	if e.op.Kind != Barrier || e.state != stReady {
+		return
+	}
+	if e.op.Ready == nil || e.op.Ready() {
+		c.complete(c.head)
+	} else {
+		c.stats.Inc(c.prefix + "spin_cycles")
+	}
+}
+
+// issueALU executes up to Width ready ALU/Effect ops.
+func (c *Core) issueALU(now sim.Cycle) {
+	budget := c.cfg.Width
+	for budget > 0 && len(c.readyALU) > 0 {
+		seq := c.readyALU[0]
+		c.readyALU = c.readyALU[1:]
+		e := c.at(seq)
+		budget--
+		e.state = stIssued
+		if e.op.Kind == Effect && e.op.Emit != nil {
+			e.op.Emit(now)
+		}
+		lat := sim.Cycle(e.op.Lat)
+		if lat == 0 {
+			lat = 1
+		}
+		s := seq
+		c.eng.After(lat, func(sim.Cycle) { c.complete(s) })
+	}
+}
+
+// issueMem issues ready memory ops in order, up to MemPorts per cycle,
+// respecting LQ/SQ capacity and atomic fencing.
+func (c *Core) issueMem(now sim.Cycle) {
+	budget := c.cfg.MemPorts
+	for budget > 0 && len(c.readyMem) > 0 && !c.atomicPending {
+		seq := c.readyMem[0]
+		e := c.at(seq)
+		switch e.op.Kind {
+		case Load:
+			if c.lqUsed >= c.cfg.LQ {
+				return
+			}
+			pa := c.translate(e.op.Addr)
+			s := seq
+			if !c.l1.Access(now, pa, cache.Load, func(sim.Cycle) {
+				c.lqUsed--
+				c.inflight--
+				c.complete(s)
+			}) {
+				return // retry next cycle
+			}
+			c.lqUsed++
+			c.inflight++
+			c.stats.Inc(c.prefix + "loads")
+		case Store:
+			if c.sqUsed >= c.cfg.SQ {
+				return
+			}
+			pa := c.translate(e.op.Addr)
+			if !c.l1.Access(now, pa, cache.Store, func(sim.Cycle) {
+				c.sqUsed--
+				c.inflight--
+			}) {
+				return
+			}
+			c.sqUsed++
+			c.inflight++
+			c.stats.Inc(c.prefix + "stores")
+			// Stores complete architecturally at issue (store buffer).
+			c.complete(seq)
+		case Atomic:
+			// A locked RMW issues only at the head of the window and
+			// fences younger memory operations until it completes.
+			if seq != c.head {
+				return
+			}
+			pa := c.translate(e.op.Addr)
+			s := seq
+			if !c.l1.Access(now, pa, cache.Store, func(n sim.Cycle) {
+				c.eng.After(c.cfg.AtomicLat, func(sim.Cycle) {
+					c.atomicPending = false
+					c.inflight--
+					c.complete(s)
+				})
+			}) {
+				return
+			}
+			c.atomicPending = true
+			c.inflight++
+			c.stats.Inc(c.prefix + "atomics")
+		}
+		if e.state != stDone {
+			e.state = stIssued
+		}
+		c.readyMem = c.readyMem[1:]
+		budget--
+	}
+}

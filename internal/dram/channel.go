@@ -1,0 +1,201 @@
+package dram
+
+// bank is the state machine of a single DRAM bank. All times are in
+// DRAM cycles; a command is legal once the current cycle reaches the
+// corresponding next* field.
+type bank struct {
+	openRow   int // -1 when precharged
+	nextAct   uint64
+	nextRead  uint64
+	nextWrite uint64
+	nextPre   uint64
+}
+
+// channel owns one DDR4 channel: its banks, the shared-bus and
+// bank-group timing trackers, and the FR-FCFS request buffer.
+type channel struct {
+	p     Params
+	banks []bank
+	queue []*Request
+	seq   uint64
+
+	// CAS-to-CAS trackers: a new CAS must respect tCCD_L within its
+	// bank group and tCCD_S across the channel.
+	nextCASAny   uint64
+	nextCASPerBG []uint64
+	// ACT-to-ACT trackers (tRRD_S/L) and the four-activate window.
+	nextACTAny   uint64
+	nextACTPerBG []uint64
+	actWindow    [4]uint64
+	actWindowPos int
+	actCount     int
+	// Bus turnaround.
+	nextReadOK  uint64
+	nextWriteOK uint64
+	// Refresh state: at nextRefresh all banks precharge and the
+	// channel blocks for tRFC.
+	nextRefresh uint64
+	refreshes   uint64
+}
+
+func newChannel(p Params) *channel {
+	ch := &channel{
+		p:            p,
+		banks:        make([]bank, p.BanksPerChannel()),
+		nextCASPerBG: make([]uint64, p.Ranks*p.BankGroups),
+		nextACTPerBG: make([]uint64, p.Ranks*p.BankGroups),
+	}
+	for i := range ch.banks {
+		ch.banks[i].openRow = -1
+	}
+	ch.nextRefresh = uint64(p.TREFI)
+	return ch
+}
+
+// maybeRefresh fires an all-bank refresh when tREFI elapses: every
+// open row closes and no command may issue for tRFC. It reports
+// whether the channel is refreshing at dc.
+func (ch *channel) maybeRefresh(dc uint64) bool {
+	if ch.p.TREFI == 0 {
+		return false
+	}
+	if dc >= ch.nextRefresh {
+		ch.refreshes++
+		end := dc + uint64(ch.p.TRFC)
+		for i := range ch.banks {
+			b := &ch.banks[i]
+			b.openRow = -1
+			b.nextAct = max64(b.nextAct, end)
+		}
+		ch.nextCASAny = max64(ch.nextCASAny, end)
+		ch.nextACTAny = max64(ch.nextACTAny, end)
+		ch.nextRefresh += uint64(ch.p.TREFI)
+		return true
+	}
+	return false
+}
+
+func (ch *channel) full() bool { return len(ch.queue) >= ch.p.RequestBuffer }
+
+func (ch *channel) enqueue(r *Request) {
+	ch.seq++
+	r.seq = ch.seq
+	ch.queue = append(ch.queue, r)
+}
+
+func (ch *channel) bankOf(c Coord) *bank { return &ch.banks[c.Slice(ch.p)] }
+
+func (ch *channel) bgOf(c Coord) int { return c.Rank*ch.p.BankGroups + c.BankGroup }
+
+// casReady reports whether the column command for r is legal at dc.
+func (ch *channel) casReady(r *Request, dc uint64) bool {
+	b := ch.bankOf(r.coord)
+	if b.openRow != r.coord.Row {
+		return false
+	}
+	bg := ch.bgOf(r.coord)
+	if dc < ch.nextCASAny || dc < ch.nextCASPerBG[bg] {
+		return false
+	}
+	if r.Kind == Read {
+		return dc >= b.nextRead && dc >= ch.nextReadOK
+	}
+	return dc >= b.nextWrite && dc >= ch.nextWriteOK
+}
+
+// actReady reports whether an ACT to r's bank is legal at dc.
+func (ch *channel) actReady(r *Request, dc uint64) bool {
+	b := ch.bankOf(r.coord)
+	if b.openRow != -1 || dc < b.nextAct {
+		return false
+	}
+	bg := ch.bgOf(r.coord)
+	if dc < ch.nextACTAny || dc < ch.nextACTPerBG[bg] {
+		return false
+	}
+	// tFAW: the 4th-most-recent ACT bounds the new one.
+	if ch.actCount < len(ch.actWindow) {
+		return true
+	}
+	return dc >= ch.actWindow[ch.actWindowPos]+uint64(ch.p.TFAW)
+}
+
+// issueCAS issues the column command for r at dc and returns the DRAM
+// cycle at which the data burst completes.
+func (ch *channel) issueCAS(r *Request, dc uint64) (doneAt uint64) {
+	b := ch.bankOf(r.coord)
+	bg := ch.bgOf(r.coord)
+	ch.nextCASAny = dc + uint64(ch.p.TCCDS)
+	ch.nextCASPerBG[bg] = dc + uint64(ch.p.TCCDL)
+	if r.Kind == Read {
+		doneAt = dc + uint64(ch.p.CL) + uint64(ch.p.TBURST)
+		if np := dc + uint64(ch.p.TRTP); np > b.nextPre {
+			b.nextPre = np
+		}
+		ch.nextWriteOK = max64(ch.nextWriteOK, dc+uint64(ch.p.CL)+uint64(ch.p.TBURST)+uint64(ch.p.TRTW)-uint64(ch.p.CWL))
+	} else {
+		doneAt = dc + uint64(ch.p.CWL) + uint64(ch.p.TBURST)
+		if np := doneAt + uint64(ch.p.TWR); np > b.nextPre {
+			b.nextPre = np
+		}
+		ch.nextReadOK = max64(ch.nextReadOK, doneAt+uint64(ch.p.TWTR))
+	}
+	return doneAt
+}
+
+// issueACT opens r's row at dc.
+func (ch *channel) issueACT(r *Request, dc uint64) {
+	b := ch.bankOf(r.coord)
+	bg := ch.bgOf(r.coord)
+	b.openRow = r.coord.Row
+	b.nextRead = dc + uint64(ch.p.TRCD)
+	b.nextWrite = dc + uint64(ch.p.TRCD)
+	if np := dc + uint64(ch.p.TRAS); np > b.nextPre {
+		b.nextPre = np
+	}
+	ch.nextACTAny = dc + uint64(ch.p.TRRDS)
+	ch.nextACTPerBG[bg] = dc + uint64(ch.p.TRRDL)
+	ch.actWindow[ch.actWindowPos] = dc
+	ch.actWindowPos = (ch.actWindowPos + 1) % len(ch.actWindow)
+	ch.actCount++
+}
+
+// issuePRE closes the open row of r's bank at dc.
+func (ch *channel) issuePRE(r *Request, dc uint64) {
+	b := ch.bankOf(r.coord)
+	b.openRow = -1
+	b.nextAct = max64(b.nextAct, dc+uint64(ch.p.TRP))
+}
+
+// hasPendingHit reports whether any queued request targets the
+// currently open row of the same bank as r — FR-FCFS will not close a
+// row other requests can still hit.
+func (ch *channel) hasPendingHit(r *Request) bool {
+	b := ch.bankOf(r.coord)
+	if b.openRow == -1 {
+		return false
+	}
+	slice := r.coord.Slice(ch.p)
+	for _, q := range ch.queue {
+		if q.coord.Slice(ch.p) == slice && q.coord.Row == b.openRow {
+			return true
+		}
+	}
+	return false
+}
+
+func (ch *channel) remove(r *Request) {
+	for i, q := range ch.queue {
+		if q == r {
+			ch.queue = append(ch.queue[:i], ch.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

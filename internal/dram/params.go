@@ -1,0 +1,99 @@
+// Package dram models a DDR4 main-memory system at command
+// granularity: per-bank state machines with the JEDEC timing
+// constraints that matter for bandwidth (tRP, tRCD, tCCD_S/L, tRAS,
+// tRTP, tWR, tRRD, tFAW, CL/CWL, tBURST), FR-FCFS scheduling over a
+// bounded per-channel request buffer, and the row-buffer / bank-group /
+// channel statistics the DX100 paper's figures are built from (§2.1).
+package dram
+
+import "dx100/internal/memspace"
+
+// Params describes one DDR4 memory system. All timing fields are in
+// DRAM clock cycles (tCK).
+type Params struct {
+	// Organization.
+	Channels   int // independent channels
+	Ranks      int // ranks per channel
+	BankGroups int // bank groups per rank
+	Banks      int // banks per bank group
+	RowBytes   int // row-buffer size per bank, in bytes
+
+	// Clocking. ClkDiv is the number of CPU cycles per DRAM cycle.
+	ClkDiv int
+
+	// Timing constraints (DRAM cycles).
+	TRP    int // precharge period
+	TRCD   int // activate-to-CAS delay
+	TCCDS  int // CAS-to-CAS, different bank group
+	TCCDL  int // CAS-to-CAS, same bank group
+	TRTP   int // read-to-precharge
+	TRAS   int // activate-to-precharge
+	TWR    int // write recovery
+	TRRDS  int // activate-to-activate, different bank group
+	TRRDL  int // activate-to-activate, same bank group
+	TFAW   int // four-activate window
+	CL     int // CAS (read) latency
+	CWL    int // CAS write latency
+	TBURST int // data burst duration (BL8 on a x64 bus = 4)
+	TRTW   int // read-to-write turnaround penalty
+	TWTR   int // write-to-read turnaround penalty
+
+	// Refresh.
+	TREFI int // average refresh interval
+	TRFC  int // refresh cycle time (all banks blocked)
+
+	// Controller.
+	RequestBuffer int // FR-FCFS visibility window per channel
+}
+
+// DDR4_3200 returns the configuration of Table 3: 2 channels of
+// DDR4-3200 (51.2 GB/s peak), tCK = 625 ps, with a 3.2 GHz CPU clock
+// (ClkDiv = 2). Timing values follow the table: tRP/tRCD = 12.5 ns,
+// tCCD_S/L = 2.5/5.0 ns, tRTP = 7.5 ns, tRAS = 32.5 ns.
+func DDR4_3200() Params {
+	return Params{
+		Channels:      2,
+		Ranks:         1,
+		BankGroups:    4,
+		Banks:         4,
+		RowBytes:      8192,
+		ClkDiv:        2,
+		TRP:           20, // 12.5ns / 0.625ns
+		TRCD:          20,
+		TCCDS:         4, // 2.5ns
+		TCCDL:         8, // 5.0ns
+		TRTP:          12,
+		TRAS:          52,
+		TWR:           24,
+		TRRDS:         4,
+		TRRDL:         8,
+		TFAW:          32,
+		CL:            22,
+		CWL:           16,
+		TBURST:        4,
+		TRTW:          2,
+		TWTR:          4,
+		TREFI:         12480, // 7.8 us
+		TRFC:          560,   // 350 ns (8 Gb devices)
+		RequestBuffer: 32,
+	}
+}
+
+// BanksPerChannel returns the number of (rank, bank-group, bank)
+// triples in one channel, i.e. the number of Row Table slices DX100
+// provisions per channel.
+func (p Params) BanksPerChannel() int {
+	return p.Ranks * p.BankGroups * p.Banks
+}
+
+// TotalBanks returns the bank count across all channels.
+func (p Params) TotalBanks() int { return p.Channels * p.BanksPerChannel() }
+
+// LinesPerRow returns the number of cache lines in one DRAM row.
+func (p Params) LinesPerRow() int { return p.RowBytes / memspace.LineSize }
+
+// PeakBytesPerDRAMCycle returns the peak data-bus throughput of one
+// channel per DRAM cycle (a 64-byte line every TBURST cycles).
+func (p Params) PeakBytesPerDRAMCycle() float64 {
+	return float64(memspace.LineSize) / float64(p.TBURST)
+}

@@ -1,0 +1,190 @@
+package dram
+
+import (
+	"dx100/internal/memspace"
+	"dx100/internal/sim"
+)
+
+// System is a multi-channel DDR4 memory system driven by the
+// simulation engine. It accepts line-granularity requests through
+// Submit and schedules their completion callbacks; one DRAM command
+// per channel may issue each DRAM cycle, chosen by FR-FCFS over the
+// bounded request buffer.
+type System struct {
+	p      Params
+	m      *Mapper
+	eng    *sim.Engine
+	stats  *sim.Stats
+	prefix string
+	chans  []*channel
+}
+
+// NewSystem builds a memory system on the engine, registered as a
+// ticker. Statistics are reported into stats under prefix (e.g.
+// "dram.").
+func NewSystem(eng *sim.Engine, p Params, stats *sim.Stats, prefix string) *System {
+	s := &System{p: p, m: NewMapper(p), eng: eng, stats: stats, prefix: prefix}
+	for i := 0; i < p.Channels; i++ {
+		s.chans = append(s.chans, newChannel(p))
+	}
+	eng.Register(s)
+	return s
+}
+
+// Params returns the system configuration.
+func (s *System) Params() Params { return s.p }
+
+// Mapper returns the address mapper (shared with DX100's address
+// decoder).
+func (s *System) Mapper() *Mapper { return s.m }
+
+// CanAccept reports whether the channel owning pa has buffer space.
+func (s *System) CanAccept(pa memspace.PAddr) bool {
+	return !s.chans[s.m.Map(pa).Channel].full()
+}
+
+// QueueLen returns the request-buffer occupancy of the channel owning
+// pa.
+func (s *System) QueueLen(pa memspace.PAddr) int {
+	return len(s.chans[s.m.Map(pa).Channel].queue)
+}
+
+// Submit enqueues a request; it reports false (and does nothing) when
+// the target channel's request buffer is full, modeling the
+// back-pressure that limits a conventional core's visibility window.
+func (s *System) Submit(r *Request) bool {
+	r.coord = s.m.Map(r.Addr)
+	ch := s.chans[r.coord.Channel]
+	if ch.full() {
+		return false
+	}
+	ch.enqueue(r)
+	return true
+}
+
+// Tick advances every channel by one DRAM cycle on CPU cycles that are
+// multiples of ClkDiv.
+func (s *System) Tick(now sim.Cycle) bool {
+	if uint64(now)%uint64(s.p.ClkDiv) != 0 {
+		return s.busy()
+	}
+	dc := uint64(now) / uint64(s.p.ClkDiv)
+	s.stats.Inc(s.prefix + "cycles")
+	for _, ch := range s.chans {
+		s.stats.Add(s.prefix+"occupancy_sum", float64(len(ch.queue)))
+		s.tickChannel(ch, dc, now)
+	}
+	return s.busy()
+}
+
+func (s *System) busy() bool {
+	for _, ch := range s.chans {
+		if len(ch.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// tickChannel issues at most one command on ch at DRAM cycle dc.
+func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
+	if ch.maybeRefresh(dc) {
+		s.stats.Inc(s.prefix + "refreshes")
+		return
+	}
+	// First-ready: oldest request whose column command can issue now.
+	for _, r := range ch.queue {
+		if ch.casReady(r, dc) {
+			s.completeCAS(ch, r, dc, now)
+			return
+		}
+	}
+	// FCFS: oldest request that needs its row opened, provided we
+	// would not close a row that still has pending hits.
+	for _, r := range ch.queue {
+		b := ch.bankOf(r.coord)
+		if b.openRow == r.coord.Row {
+			continue // only waiting on CAS timing
+		}
+		if b.openRow != -1 {
+			if ch.hasPendingHit(r) {
+				continue
+			}
+			if dc >= b.nextPre {
+				ch.issuePRE(r, dc)
+				r.requiredPre = true
+				s.stats.Inc(s.prefix + "pre")
+				return
+			}
+			continue
+		}
+		if ch.actReady(r, dc) {
+			ch.issueACT(r, dc)
+			r.requiredAct = true
+			s.stats.Inc(s.prefix + "act")
+			return
+		}
+	}
+}
+
+// completeCAS issues r's column command, records its row-buffer
+// classification, and schedules the completion callback.
+func (s *System) completeCAS(ch *channel, r *Request, dc uint64, now sim.Cycle) {
+	doneAt := ch.issueCAS(r, dc)
+	ch.remove(r)
+	switch {
+	case !r.requiredAct:
+		s.stats.Inc(s.prefix + "rowhits")
+	case r.requiredPre:
+		s.stats.Inc(s.prefix + "rowconflicts")
+	default:
+		s.stats.Inc(s.prefix + "rowmisses")
+	}
+	if r.Kind == Read {
+		s.stats.Inc(s.prefix + "reads")
+	} else {
+		s.stats.Inc(s.prefix + "writes")
+	}
+	s.stats.Add(s.prefix+"bytes", memspace.LineSize)
+	if r.OnDone != nil {
+		cpuDone := sim.Cycle(doneAt * uint64(s.p.ClkDiv))
+		if cpuDone <= now {
+			cpuDone = now + 1
+		}
+		s.eng.Schedule(cpuDone, r.OnDone)
+	}
+}
+
+// RowBufferHitRate returns hits / (hits + misses + conflicts) over the
+// run so far.
+func (s *System) RowBufferHitRate() float64 {
+	h := s.stats.Get(s.prefix + "rowhits")
+	m := s.stats.Get(s.prefix + "rowmisses")
+	c := s.stats.Get(s.prefix + "rowconflicts")
+	if h+m+c == 0 {
+		return 0
+	}
+	return h / (h + m + c)
+}
+
+// BandwidthUtilization returns transferred bytes as a fraction of the
+// peak bytes the bus could have moved over the run so far.
+func (s *System) BandwidthUtilization() float64 {
+	cycles := s.stats.Get(s.prefix + "cycles")
+	if cycles == 0 {
+		return 0
+	}
+	peak := float64(s.p.Channels) * s.p.PeakBytesPerDRAMCycle() * cycles
+	return s.stats.Get(s.prefix+"bytes") / peak
+}
+
+// Occupancy returns the mean request-buffer occupancy as a fraction of
+// the buffer capacity.
+func (s *System) Occupancy() float64 {
+	cycles := s.stats.Get(s.prefix + "cycles")
+	if cycles == 0 {
+		return 0
+	}
+	denom := cycles * float64(s.p.Channels) * float64(s.p.RequestBuffer)
+	return s.stats.Get(s.prefix+"occupancy_sum") / denom
+}

@@ -1,0 +1,509 @@
+package dx100
+
+import (
+	"fmt"
+
+	"dx100/internal/cache"
+	"dx100/internal/dram"
+	"dx100/internal/memspace"
+	"dx100/internal/sim"
+)
+
+// Snooper is the coherency view the accelerator needs: the directory
+// snoop that fills the H bit during the fill stage, and invalidation
+// for lines DX100 modifies (§3.6).
+type Snooper interface {
+	Present(memspace.PAddr) bool
+	Invalidate(memspace.PAddr)
+}
+
+// unit identifies one functional unit (§3).
+type unit int
+
+const (
+	uStream unit = iota
+	uIndirect
+	uALU
+	uRange
+	numUnits
+)
+
+func unitOf(op Opcode) unit {
+	switch op {
+	case SLD, SST:
+		return uStream
+	case ILD, IST, IRMW:
+		return uIndirect
+	case ALUV, ALUS:
+		return uALU
+	default:
+		return uRange
+	}
+}
+
+// inflight is one instruction moving through the accelerator.
+type inflight struct {
+	ins      Instr
+	regs     [3]uint64 // register operands snapshotted at send time
+	n        int       // element count
+	progress int       // elements completed, monotone for ordered units
+	ordered  bool      // progress is in element order (chaining legal)
+	startAt  sim.Cycle
+
+	// Stream unit state.
+	linePA      []memspace.PAddr
+	lineElemEnd []int
+	lineDone    []bool
+	linesIssued int
+	linesDone   int
+	linePrefix  int
+	outstanding int
+
+	// Indirect unit state.
+	rt         *RowTable
+	fill       int
+	inserted   int
+	responded  int
+	draining   bool
+	holding    []ColumnReq
+	writeQueue []*dram.Request
+	writesPend int
+	stallUntil sim.Cycle
+	snapIns    int // rt counter snapshots at dispatch
+	snapCoal   int
+	snapCols   int
+	snapStall  int
+}
+
+// Accel is the DX100 timing model: a memory-mapped accelerator shared
+// by the cores, connected to the LLC (Cache Interface) and directly to
+// the DRAM controllers (DRAM Interface).
+type Accel struct {
+	cfg    Config
+	eng    *sim.Engine
+	stats  *sim.Stats
+	prefix string
+
+	m      *Machine
+	space  *memspace.Space
+	mem    *dram.System
+	mapper *dram.Mapper
+	llc    cache.Level
+	snoop  Snooper
+	tlb    *TLB
+	// Two Row Tables ping-pong so the fill stage of one indirect
+	// instruction overlaps the request/response stages of the
+	// previous one (§3.5: fine-grained coordination between stages).
+	rts [2]*RowTable
+
+	queue []*inflight
+	units [numUnits]*inflight
+	indQ  []*inflight // indirect unit: up to two staged instructions
+
+	tileRefs   []int // outstanding references per tile: ready bit == 0 refs
+	tileUse    []int // in-flight (dispatched) uses, for the scoreboard
+	tileWriter []*inflight
+
+	spdRegion memspace.Region
+	spdPABase memspace.PAddr
+	spdCycle  sim.Cycle
+	spdUsed   int
+
+	// Multi-instance coarse-grained region coherence (§6.6).
+	dir      *RegionDirectory
+	instance int
+
+	retired int
+	mmio    *MMIO
+}
+
+// RegionDirectory implements the coarse-grained region-based coherence
+// protocol of §6.6 (core multiplexing): one writer per indirect array
+// region across DX100 instances, with a transfer cost when ownership
+// moves.
+type RegionDirectory struct {
+	owner       map[memspace.VAddr]int
+	TransferLat sim.Cycle
+	Transfers   int
+}
+
+// NewRegionDirectory returns an empty directory.
+func NewRegionDirectory() *RegionDirectory {
+	return &RegionDirectory{owner: make(map[memspace.VAddr]int), TransferLat: 100}
+}
+
+// Acquire claims the region containing base for instance, returning
+// the added latency (zero when already owned).
+func (d *RegionDirectory) Acquire(base memspace.VAddr, instance int) sim.Cycle {
+	key := base >> memspace.HugePageBits
+	cur, ok := d.owner[memspace.VAddr(key)]
+	if ok && cur == instance {
+		return 0
+	}
+	d.owner[memspace.VAddr(key)] = instance
+	if !ok {
+		return 0
+	}
+	d.Transfers++
+	return d.TransferLat
+}
+
+// New builds the accelerator: it allocates the scratchpad's
+// memory-mapped region in the address space, builds the functional
+// machine, and registers the timing model on the engine.
+func New(eng *sim.Engine, cfg Config, space *memspace.Space, mem *dram.System, llc cache.Level, snoop Snooper, stats *sim.Stats, prefix string) *Accel {
+	a := &Accel{
+		cfg:    cfg,
+		eng:    eng,
+		stats:  stats,
+		prefix: prefix,
+		m:      NewMachine(space, cfg.Machine),
+		space:  space,
+		mem:    mem,
+		mapper: mem.Mapper(),
+		llc:    llc,
+		snoop:  snoop,
+		tlb:    NewTLB(space, cfg.TLBEntries),
+	}
+	a.rts[0] = NewRowTable(mem.Params(), cfg.RowTable, cfg.Machine.TileElems)
+	a.rts[1] = NewRowTable(mem.Params(), cfg.RowTable, cfg.Machine.TileElems)
+	nt := cfg.Machine.Tiles
+	a.tileRefs = make([]int, nt)
+	a.tileUse = make([]int, nt)
+	a.tileWriter = make([]*inflight, nt)
+	spdBytes := uint64(cfg.Machine.Tiles) * uint64(cfg.Machine.TileElems) * 8
+	a.spdRegion = space.Alloc(prefix+"spd", spdBytes)
+	a.spdPABase = space.Translate(a.spdRegion.Base)
+	eng.Register(a)
+	return a
+}
+
+// Machine exposes the functional state (tiles, registers) for host
+// setup and result inspection.
+func (a *Accel) Machine() *Machine { return a.m }
+
+// TLB exposes the translation buffer for PTE preloading (§4.1).
+func (a *Accel) TLB() *TLB { return a.tlb }
+
+// AttachDirectory joins the accelerator to a multi-instance coherence
+// directory as the given instance id (§6.6).
+func (a *Accel) AttachDirectory(d *RegionDirectory, instance int) {
+	a.dir = d
+	a.instance = instance
+}
+
+// TileElemVA returns the memory-mapped virtual address of tile t,
+// element i — the address cores use to read gathered data (Figure 6).
+func (a *Accel) TileElemVA(t uint8, i int) memspace.VAddr {
+	return a.spdRegion.Base + memspace.VAddr((int(t)*a.cfg.Machine.TileElems+i)*8)
+}
+
+// SPDRange returns the physical address range of the scratchpad
+// region, for routing core accesses.
+func (a *Accel) SPDRange() (lo, hi memspace.PAddr) {
+	return a.spdPABase, a.spdPABase + memspace.PAddr(a.spdRegion.Size)
+}
+
+// TileReady reports the tile's ready bit (§3.5): no outstanding
+// instruction references it.
+func (a *Accel) TileReady(t uint8) bool { return a.tileRefs[t] == 0 }
+
+// QueueLen returns the number of received, undispatched instructions —
+// the credit signal host drivers use for flow control.
+func (a *Accel) QueueLen() int { return len(a.queue) }
+
+// RetiredInstrs returns the count of fully completed instructions.
+func (a *Accel) RetiredInstrs() int { return a.retired }
+
+// Idle reports whether the accelerator has no queued or executing
+// instructions.
+func (a *Accel) Idle() bool {
+	if len(a.queue) > 0 || len(a.indQ) > 0 {
+		return false
+	}
+	for _, u := range a.units {
+		if u != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// freeRowTable returns an unowned Row Table, or nil.
+func (a *Accel) freeRowTable() *RowTable {
+	for _, rt := range a.rts {
+		owned := false
+		for _, fl := range a.indQ {
+			if fl.rt == rt {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			return rt
+		}
+	}
+	return nil
+}
+
+// operandTiles lists the tile operands of an instruction: destinations
+// first, then sources, then the condition tile.
+func operandTiles(in Instr) (dests, srcs []uint8) {
+	switch in.Op {
+	case SLD:
+		dests = []uint8{in.TD}
+	case SST:
+		srcs = []uint8{in.TS1}
+	case ILD:
+		dests = []uint8{in.TD}
+		srcs = []uint8{in.TS1}
+	case IST, IRMW:
+		srcs = []uint8{in.TS1, in.TS2}
+	case ALUV:
+		dests = []uint8{in.TD}
+		srcs = []uint8{in.TS1, in.TS2}
+	case ALUS:
+		dests = []uint8{in.TD}
+		srcs = []uint8{in.TS1}
+	case RNG:
+		dests = []uint8{in.TD, in.TD2}
+		srcs = []uint8{in.TS1, in.TS2}
+	}
+	if in.TC != NoTile {
+		srcs = append(srcs, in.TC)
+	}
+	return dests, srcs
+}
+
+// Send enqueues an instruction, as transmitted by a core's three
+// memory-mapped stores. Ready bits of all operand tiles drop
+// immediately (§3.5).
+func (a *Accel) Send(ins Instr) error {
+	if err := ins.Validate(); err != nil {
+		return err
+	}
+	fl := &inflight{ins: ins, regs: [3]uint64{a.m.Reg(ins.RS1), a.m.Reg(ins.RS2), a.m.Reg(ins.RS3)}}
+	dests, srcs := operandTiles(ins)
+	for _, t := range dests {
+		a.tileRefs[t]++
+	}
+	for _, t := range srcs {
+		a.tileRefs[t]++
+	}
+	a.queue = append(a.queue, fl)
+	a.stats.Inc(a.prefix + "instructions")
+	return nil
+}
+
+// SetReg writes a scalar register (memory-mapped register-file store,
+// §4.1).
+func (a *Accel) SetReg(r uint8, v uint64) { a.m.SetReg(r, v) }
+
+// scoreboardOK checks the dispatch rules (§3.5): destination tiles
+// must be completely free (no WAW/WAR), and sources written by an
+// in-flight producer are only legal when the producer fills in order
+// (fine-grained chaining via finish bits). Condition tiles and RNG
+// sources require completed producers.
+func (a *Accel) scoreboardOK(in Instr) bool {
+	dests, srcs := operandTiles(in)
+	for _, t := range dests {
+		if a.tileUse[t] != 0 {
+			return false
+		}
+	}
+	for _, t := range srcs {
+		w := a.tileWriter[t]
+		if w == nil {
+			continue
+		}
+		if !w.ordered || in.Op == RNG || t == in.TC {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick implements sim.Ticker.
+func (a *Accel) Tick(now sim.Cycle) bool {
+	a.tryDispatch(now)
+	for u := unit(0); u < numUnits; u++ {
+		if u == uIndirect {
+			a.stepIndirectQueue(now)
+			continue
+		}
+		if fl := a.units[u]; fl != nil {
+			a.step(u, fl, now)
+		}
+	}
+	return !a.Idle()
+}
+
+// stepIndirectQueue advances the staged indirect instructions: the
+// shared fill ports serve the oldest instruction still filling, while
+// the request generator and response path drain the oldest
+// instruction's Row Table.
+func (a *Accel) stepIndirectQueue(now sim.Cycle) {
+	var filled bool
+	for _, fl := range a.indQ {
+		if now < fl.startAt || now < fl.stallUntil {
+			continue
+		}
+		if !filled && fl.fill < fl.n {
+			a.indirectFill(fl)
+			filled = true
+		}
+		if fl == a.indQ[0] {
+			a.stepIndirectDrain(fl, now)
+		}
+	}
+	// Retirement check for the head (drain may complete it).
+	if len(a.indQ) > 0 {
+		fl := a.indQ[0]
+		if now >= fl.startAt && a.indirectDone(fl) {
+			fl.progress = fl.n
+			a.retire(uIndirect, fl)
+		}
+	}
+}
+
+func (a *Accel) tryDispatch(now sim.Cycle) {
+	for len(a.queue) > 0 {
+		fl := a.queue[0]
+		u := unitOf(fl.ins.Op)
+		if u == uIndirect {
+			if len(a.indQ) >= 2 || a.freeRowTable() == nil {
+				return
+			}
+		} else if a.units[u] != nil {
+			return // in-order dispatch: the head blocks
+		}
+		if !a.scoreboardOK(fl.ins) {
+			return
+		}
+		a.queue = a.queue[1:]
+		a.dispatch(fl, now)
+	}
+}
+
+// dispatch executes the instruction functionally (§5: the timing model
+// reuses the verified functional machine for all data movement) and
+// initializes the unit's timing state.
+func (a *Accel) dispatch(fl *inflight, now sim.Cycle) {
+	ins := fl.ins
+	// Restore the register operands captured at send time.
+	a.m.SetReg(ins.RS1, fl.regs[0])
+	a.m.SetReg(ins.RS2, fl.regs[1])
+	a.m.SetReg(ins.RS3, fl.regs[2])
+	if err := a.m.Exec(ins); err != nil {
+		panic(fmt.Sprintf("dx100: functional execution of dispatched instruction failed: %v", err))
+	}
+	dests, srcs := operandTiles(ins)
+	for _, t := range dests {
+		a.tileUse[t]++
+		a.tileWriter[t] = fl
+	}
+	for _, t := range srcs {
+		a.tileUse[t]++
+	}
+	fl.startAt = now + a.cfg.DispatchLat
+	if a.dir != nil {
+		switch ins.Op {
+		case ILD, IST, IRMW, SLD, SST:
+			fl.startAt += a.dir.Acquire(ins.Base, a.instance)
+		}
+	}
+	fl.ordered = ins.Op != ILD
+	switch ins.Op {
+	case SLD, SST:
+		a.initStream(fl)
+		a.units[uStream] = fl
+	case ILD, IST, IRMW:
+		fl.n = a.m.Tile(ins.TS1).Size()
+		fl.rt = a.freeRowTable()
+		fl.rt.Reset()
+		fl.snapIns, fl.snapCoal = fl.rt.Inserts, fl.rt.Coalesced
+		fl.snapCols, fl.snapStall = fl.rt.ColsAlloc, fl.rt.Stalls
+		a.indQ = append(a.indQ, fl)
+	case ALUV, ALUS:
+		fl.n = a.m.Tile(ins.TS1).Size()
+		a.units[uALU] = fl
+	case RNG:
+		fl.n = a.m.Tile(ins.TD).Size() // fused output length, known post-exec
+		a.units[uRange] = fl
+	}
+	a.stats.Inc(a.prefix + "dispatch." + ins.Op.String())
+}
+
+// retire releases the instruction's operands and frees its unit.
+func (a *Accel) retire(u unit, fl *inflight) {
+	dests, srcs := operandTiles(fl.ins)
+	for _, t := range dests {
+		a.tileUse[t]--
+		a.tileRefs[t]--
+		if a.tileWriter[t] == fl {
+			a.tileWriter[t] = nil
+		}
+	}
+	for _, t := range srcs {
+		a.tileUse[t]--
+		a.tileRefs[t]--
+	}
+	if u == uIndirect {
+		for i, q := range a.indQ {
+			if q == fl {
+				a.indQ = append(a.indQ[:i], a.indQ[i+1:]...)
+				break
+			}
+		}
+		a.stats.Add(a.prefix+"rt.coalesced", float64(fl.rt.Coalesced-fl.snapCoal))
+		a.stats.Add(a.prefix+"rt.cols", float64(fl.rt.ColsAlloc-fl.snapCols))
+		a.stats.Add(a.prefix+"rt.inserts", float64(fl.rt.Inserts-fl.snapIns))
+		a.stats.Add(a.prefix+"rt.stalls", float64(fl.rt.Stalls-fl.snapStall))
+	} else {
+		a.units[u] = nil
+	}
+	a.retired++
+	a.stats.Inc(a.prefix + "retire." + fl.ins.Op.String())
+	a.stats.Set(a.prefix+"tlb.misses", float64(a.tlb.Misses))
+}
+
+// srcLimit bounds per-element consumption by the progress of in-flight
+// producers of the instruction's source tiles.
+func (a *Accel) srcLimit(fl *inflight) int {
+	limit := fl.n
+	_, srcs := operandTiles(fl.ins)
+	for _, t := range srcs {
+		if w := a.tileWriter[t]; w != nil && w != fl && w.progress < limit {
+			limit = w.progress
+		}
+	}
+	return limit
+}
+
+func (a *Accel) step(u unit, fl *inflight, now sim.Cycle) {
+	if now < fl.startAt || now < fl.stallUntil {
+		return
+	}
+	switch u {
+	case uStream:
+		a.stepStream(fl, now)
+	case uALU:
+		a.stepCompute(u, fl, a.cfg.ALULanes)
+	case uRange:
+		a.stepCompute(u, fl, a.cfg.RangeRate)
+	}
+}
+
+// stepCompute advances an ALU or Range Fuser instruction by up to rate
+// elements per cycle, bounded by chained producers.
+func (a *Accel) stepCompute(u unit, fl *inflight, rate int) {
+	limit := a.srcLimit(fl)
+	fl.progress += rate
+	if fl.progress > limit {
+		fl.progress = limit
+	}
+	if fl.progress >= fl.n {
+		fl.progress = fl.n
+		a.retire(u, fl)
+	}
+}

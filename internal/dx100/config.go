@@ -1,0 +1,74 @@
+package dx100
+
+import "dx100/internal/sim"
+
+// Config carries the timing parameters of the accelerator (Table 3
+// plus the micro-architectural rates of §3).
+type Config struct {
+	Machine  MachineConfig
+	RowTable RowTableConfig
+
+	// FillRate is the number of index elements the Indirect Access
+	// unit's fill stage processes per cycle (bounded by the 4
+	// scratchpad ports of Table 3).
+	FillRate int
+	// ReqRate is the number of column requests the Request Generator
+	// can issue per cycle.
+	ReqRate int
+	// StreamRate is the number of line requests the Stream Access
+	// unit issues to the LLC per cycle.
+	StreamRate int
+	// ReqTable is the Stream Access unit's outstanding-request
+	// capacity (128 in Table 3).
+	ReqTable int
+	// ALULanes is the tile-ALU width (16 in Table 3).
+	ALULanes int
+	// RangeRate is the number of fused elements the Range Fuser emits
+	// per cycle.
+	RangeRate int
+	// DrainFrac is the fraction of tile capacity of pending columns
+	// that triggers the request stage before the fill completes.
+	DrainFrac float64
+
+	// SPDLatency is the core-side scratchpad access latency over the
+	// NoC; the region is cacheable and stride-prefetched, so this is
+	// the effective pipelined latency (§3.6).
+	SPDLatency sim.Cycle
+	// SPDPorts is the number of core-side scratchpad accesses accepted
+	// per cycle.
+	SPDPorts int
+	// DispatchLat is the controller's receive-to-dispatch latency.
+	DispatchLat sim.Cycle
+
+	// ForceLLCRoute sends every indirect request through the LLC
+	// regardless of the H bit — the "inject into the LLC" design
+	// alternative of §3.6, kept as an ablation.
+	ForceLLCRoute bool
+
+	// TLBEntries sizes the accelerator TLB (256 in Table 3).
+	TLBEntries int
+	// TLBMissLat is the page-walk latency on a TLB miss.
+	TLBMissLat sim.Cycle
+}
+
+// DefaultConfig returns the Table 3 accelerator: 2 MB scratchpad of
+// 32 x 16K-element tiles, 64 x 8 Row Table slices, 128-entry request
+// table, 16 ALU lanes, 256-entry TLB.
+func DefaultConfig() Config {
+	return Config{
+		Machine:     DefaultMachineConfig(),
+		RowTable:    DefaultRowTableConfig(),
+		FillRate:    4,
+		ReqRate:     2,
+		StreamRate:  2,
+		ReqTable:    128,
+		ALULanes:    16,
+		RangeRate:   4,
+		DrainFrac:   0.5,
+		SPDLatency:  20,
+		SPDPorts:    4,
+		DispatchLat: 8,
+		TLBEntries:  256,
+		TLBMissLat:  100,
+	}
+}

@@ -1,0 +1,111 @@
+package dx100
+
+import (
+	"testing"
+
+	"dx100/internal/memspace"
+)
+
+func TestMMIOInstructionReception(t *testing.T) {
+	r := newRig(t, smallCfg())
+	arr := memspace.NewArray[uint32](r.sp, "A", 4096)
+	ac := r.accel
+	mm := ac.MMIO()
+	// Program the registers through the register-file region.
+	for reg, v := range map[uint8]uint64{0: 0, 1: 1024, 2: 1} {
+		if err := mm.Store(mm.RegVA(reg), v); err != nil {
+			t.Fatalf("reg store: %v", err)
+		}
+	}
+	if ac.Machine().Reg(1) != 1024 {
+		t.Fatal("register write did not land")
+	}
+	// Send an SLD as three 64-bit stores (§3.5).
+	in := Instr{Op: SLD, DType: U32, Base: arr.Base(), TD: 0, RS1: 0, RS2: 1, RS3: 2, TC: NoTile}
+	w := in.Encode()
+	for i := 0; i < 3; i++ {
+		if err := mm.Store(mm.InstrVA(i), w[i]); err != nil {
+			t.Fatalf("instr store %d: %v", i, err)
+		}
+	}
+	if ac.QueueLen() != 1 {
+		t.Fatalf("queue len = %d after 3 stores", ac.QueueLen())
+	}
+	// The ready bit dropped at reception and returns after execution.
+	bits, err := mm.Load(mm.ReadyVA(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits&1 != 0 {
+		t.Fatal("tile 0 still ready after send")
+	}
+	r.run(t)
+	polls, err := mm.Wait(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polls != 1 {
+		t.Fatalf("polls = %d after completion", polls)
+	}
+	// Tile size readable through the size region.
+	sz, err := mm.Load(mm.SizeVA(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz != 1024 {
+		t.Fatalf("tile size = %d, want 1024", sz)
+	}
+}
+
+func TestMMIOPartialInstructionNotSent(t *testing.T) {
+	r := newRig(t, smallCfg())
+	mm := r.accel.MMIO()
+	in := Instr{Op: ALUS, DType: U64, ALU: OpAdd, TD: 1, TS1: 0, TC: NoTile}
+	w := in.Encode()
+	if err := mm.Store(mm.InstrVA(0), w[0]); err != nil {
+		t.Fatal(err)
+	}
+	if r.accel.QueueLen() != 0 {
+		t.Fatal("instruction enqueued before all three words arrived")
+	}
+	// Out-of-order word is rejected.
+	if err := mm.Store(mm.InstrVA(2), w[2]); err == nil {
+		t.Fatal("out-of-order instruction store accepted")
+	}
+}
+
+func TestMMIOBoundsChecked(t *testing.T) {
+	r := newRig(t, smallCfg())
+	mm := r.accel.MMIO()
+	if err := mm.Store(0x40, 1); err == nil {
+		t.Fatal("store outside region accepted")
+	}
+	if _, err := mm.Load(0x40); err == nil {
+		t.Fatal("load outside region accepted")
+	}
+	// Stores to the read-only ready region fail.
+	if err := mm.Store(mm.ReadyVA(0), 1); err == nil {
+		t.Fatal("store to ready bits accepted")
+	}
+	// Loads from the write-only instruction region fail.
+	if _, err := mm.Load(mm.InstrVA(0)); err == nil {
+		t.Fatal("load from reception region accepted")
+	}
+}
+
+func TestMMIOInvalidInstructionRejected(t *testing.T) {
+	r := newRig(t, smallCfg())
+	mm := r.accel.MMIO()
+	bad := Instr{Op: IRMW, ALU: OpSub, TC: NoTile} // non-commutative RMW
+	w := bad.Encode()
+	var last error
+	for i := 0; i < 3; i++ {
+		last = mm.Store(mm.InstrVA(i), w[i])
+	}
+	if last == nil {
+		t.Fatal("invalid instruction accepted at reception")
+	}
+	if r.accel.QueueLen() != 0 {
+		t.Fatal("invalid instruction enqueued")
+	}
+}

@@ -1,0 +1,90 @@
+// Package exp assembles complete simulated systems — baseline
+// multicore, baseline+DMP, and multicore+DX100 — runs workloads on
+// them, and implements one experiment per figure and table of the
+// paper's evaluation (§5, §6).
+package exp
+
+import (
+	"dx100/internal/cpu"
+	"dx100/internal/dram"
+	"dx100/internal/dx100"
+	"dx100/internal/prefetch"
+	"dx100/internal/sim"
+)
+
+// Mode selects the system under test.
+type Mode int
+
+const (
+	// Baseline is the 4-core system of Table 3 with a 10 MB LLC.
+	Baseline Mode = iota
+	// DMP is the baseline plus the indirect prefetcher of §6.3.
+	DMP
+	// DX is the 4-core system with an 8 MB LLC plus DX100.
+	DX
+)
+
+func (m Mode) String() string {
+	return [...]string{"baseline", "dmp", "dx100"}[m]
+}
+
+// SystemConfig describes one simulated system (Table 3).
+type SystemConfig struct {
+	Mode      Mode
+	Cores     int
+	LLCBytes  int
+	DRAM      dram.Params
+	Core      cpu.Config
+	Accel     dx100.Config
+	DMP       prefetch.Config
+	Instances int // DX100 instances (§6.6)
+	MaxCycles sim.Cycle
+	// WarmLLC pre-loads every array line into the LLC and resets the
+	// statistics before measurement — the All-Hit setup of §6.1.
+	WarmLLC bool
+}
+
+// Default returns the Table 3 system for the given mode: the baseline
+// and DMP get a 10 MB LLC; DX100 gets 8 MB plus the accelerator,
+// keeping the area comparison fair (§6.5).
+func Default(mode Mode) SystemConfig {
+	cfg := SystemConfig{
+		Mode:      mode,
+		Cores:     4,
+		LLCBytes:  10 << 20,
+		DRAM:      dram.DDR4_3200(),
+		Core:      cpu.SkylakeLike(),
+		Accel:     dx100.DefaultConfig(),
+		DMP:       prefetch.DefaultConfig(),
+		Instances: 1,
+		MaxCycles: 2_000_000_000,
+	}
+	if mode == DX {
+		cfg.LLCBytes = 8 << 20
+	}
+	return cfg
+}
+
+// Scale8 doubles cores, LLC and memory channels for the scalability
+// study (Fig 14).
+func Scale8(instances int) SystemConfig {
+	cfg := Default(DX)
+	cfg.Cores = 8
+	cfg.LLCBytes = 16 << 20
+	cfg.DRAM.Channels = 4
+	cfg.Instances = instances
+	if instances == 1 {
+		// One instance with a doubled (4 MB) scratchpad.
+		cfg.Accel.Machine.Tiles = 64
+	}
+	return cfg
+}
+
+// Scale8Baseline is the 8-core baseline for Fig 14's normalization.
+func Scale8Baseline() SystemConfig {
+	cfg := Default(Baseline)
+	cfg.Cores = 8
+	cfg.LLCBytes = 20 << 20
+	cfg.DRAM.Channels = 4
+	return cfg
+}

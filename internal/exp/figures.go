@@ -1,0 +1,330 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"dx100/internal/dx100"
+	"dx100/internal/sim"
+	"dx100/internal/workloads"
+)
+
+// MainRow holds one workload's measurements across the three systems —
+// the raw material of Figures 9, 10, 11 and 12.
+type MainRow struct {
+	Workload string
+	Base     Result
+	DX       Result
+	DMP      Result
+	HasDMP   bool
+}
+
+// Speedup returns DX100's speedup over the baseline.
+func (r MainRow) Speedup() float64 { return float64(r.Base.Cycles) / float64(r.DX.Cycles) }
+
+// SpeedupVsDMP returns DX100's speedup over DMP.
+func (r MainRow) SpeedupVsDMP() float64 { return float64(r.DMP.Cycles) / float64(r.DX.Cycles) }
+
+// MainEvaluation runs the 12 benchmarks on the baseline and DX100
+// systems (and DMP when withDMP is set), producing the per-workload
+// rows behind Figures 9-12.
+func MainEvaluation(scale int, names []string, withDMP bool) ([]MainRow, error) {
+	if names == nil {
+		names = workloads.Order
+	}
+	var rows []MainRow
+	for _, name := range names {
+		base, err := Run(name, scale, Default(Baseline))
+		if err != nil {
+			return nil, err
+		}
+		dx, err := Run(name, scale, Default(DX))
+		if err != nil {
+			return nil, err
+		}
+		row := MainRow{Workload: name, Base: base, DX: dx}
+		if withDMP {
+			dmp, err := Run(name, scale, Default(DMP))
+			if err != nil {
+				return nil, err
+			}
+			row.DMP = dmp
+			row.HasDMP = true
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig9 renders the speedup series of Figure 9 from main-evaluation
+// rows.
+func Fig9(rows []MainRow) *Series {
+	s := &Series{
+		Title:  "Figure 9: DX100 speedup over the 4-core baseline",
+		Header: []string{"workload", "base cycles", "dx100 cycles", "speedup"},
+	}
+	var sps []float64
+	for _, r := range rows {
+		s.AddRow(r.Workload, fmt.Sprint(r.Base.Cycles), fmt.Sprint(r.DX.Cycles), f2x(r.Speedup()))
+		sps = append(sps, r.Speedup())
+	}
+	s.Note("geomean speedup %s (paper: 2.6x)", f2x(sim.Geomean(sps)))
+	return s
+}
+
+// Fig10 renders the memory-system series of Figure 10: bandwidth
+// utilization, row-buffer hit rate and request-buffer occupancy.
+func Fig10(rows []MainRow) *Series {
+	s := &Series{
+		Title:  "Figure 10: bandwidth utilization / row-buffer hit rate / request-buffer occupancy",
+		Header: []string{"workload", "BW base", "BW dx", "RBH base", "RBH dx", "occ base", "occ dx"},
+	}
+	var bw, rbh, occ []float64
+	for _, r := range rows {
+		s.AddRow(r.Workload,
+			pct(r.Base.BWUtil), pct(r.DX.BWUtil),
+			pct(r.Base.RBH), pct(r.DX.RBH),
+			pct(r.Base.Occupancy), pct(r.DX.Occupancy))
+		bw = append(bw, safeRatio(r.DX.BWUtil, r.Base.BWUtil))
+		rbh = append(rbh, safeRatio(r.DX.RBH, r.Base.RBH))
+		occ = append(occ, safeRatio(r.DX.Occupancy, r.Base.Occupancy))
+	}
+	s.Note("BW util improvement geomean %s (paper: 3.9x)", f2x(sim.Geomean(bw)))
+	s.Note("row-buffer hit improvement geomean %s (paper: 2.7x)", f2x(sim.Geomean(rbh)))
+	s.Note("occupancy improvement geomean %s (paper: 12.1x)", f2x(sim.Geomean(occ)))
+	return s
+}
+
+// Fig11 renders the instruction and MPKI reductions of Figure 11.
+func Fig11(rows []MainRow) *Series {
+	s := &Series{
+		Title:  "Figure 11: core instruction and cache MPKI reduction",
+		Header: []string{"workload", "instr base", "instr dx", "instr redux", "MPKI base", "MPKI dx", "MPKI redux"},
+	}
+	var ir, mr []float64
+	for _, r := range rows {
+		iRed := safeRatio(r.Base.Instructions, r.DX.Instructions)
+		// A fully-offloaded workload can reach zero core misses; clamp
+		// the denominator so the reduction stays finite.
+		mRed := r.Base.MPKI / math.Max(r.DX.MPKI, 0.01)
+		s.AddRow(r.Workload,
+			fmt.Sprintf("%.0f", r.Base.Instructions), fmt.Sprintf("%.0f", r.DX.Instructions), f2x(iRed),
+			f2(r.Base.MPKI), f2(r.DX.MPKI), f2x(mRed))
+		ir = append(ir, iRed)
+		mr = append(mr, mRed)
+	}
+	s.Note("instruction reduction geomean %s (paper: 3.6x)", f2x(sim.Geomean(ir)))
+	s.Note("MPKI reduction geomean %s (paper: 6.1x)", f2x(sim.Geomean(mr)))
+	return s
+}
+
+// Fig12 renders the DMP comparison of Figure 12.
+func Fig12(rows []MainRow) *Series {
+	s := &Series{
+		Title:  "Figure 12: DX100 vs the DMP indirect prefetcher",
+		Header: []string{"workload", "dmp cycles", "dx100 cycles", "speedup vs dmp", "BW dmp", "BW dx"},
+	}
+	var sps, bw []float64
+	for _, r := range rows {
+		if !r.HasDMP {
+			continue
+		}
+		s.AddRow(r.Workload, fmt.Sprint(r.DMP.Cycles), fmt.Sprint(r.DX.Cycles),
+			f2x(r.SpeedupVsDMP()), pct(r.DMP.BWUtil), pct(r.DX.BWUtil))
+		sps = append(sps, r.SpeedupVsDMP())
+		bw = append(bw, safeRatio(r.DX.BWUtil, r.DMP.BWUtil))
+	}
+	s.Note("geomean speedup vs DMP %s (paper: 2.0x)", f2x(sim.Geomean(sps)))
+	s.Note("BW util vs DMP geomean %s (paper: 3.3x)", f2x(sim.Geomean(bw)))
+	return s
+}
+
+// Fig8aAllHit runs the five All-Hit microbenchmarks of Figure 8 (a).
+func Fig8aAllHit(scale int) (*Series, error) {
+	s := &Series{
+		Title:  "Figure 8a: All-Hit microbenchmark speedups",
+		Header: []string{"microbench", "base cycles", "dx100 cycles", "speedup", "paper"},
+	}
+	type mb struct {
+		inst  func() *workloads.Instance
+		cores int
+		paper string
+	}
+	cases := []mb{
+		{func() *workloads.Instance { return workloads.MicroGather(true, scale) }, 4, "1.2x"},
+		{func() *workloads.Instance { return workloads.MicroGather(false, scale) }, 4, "3.2x"},
+		{func() *workloads.Instance { return workloads.MicroRMW(true, scale) }, 4, "17.8x"},
+		{func() *workloads.Instance { return workloads.MicroRMW(false, scale) }, 4, "3.7x"},
+		{func() *workloads.Instance { return workloads.MicroScatter(scale) }, 1, "6.6x"},
+	}
+	for _, c := range cases {
+		bcfg := Default(Baseline)
+		bcfg.Cores = c.cores
+		bcfg.WarmLLC = true
+		if c.cores == 1 {
+			bcfg.LLCBytes = 4 << 20
+		}
+		inst := c.inst()
+		base, err := RunInstance(inst, bcfg)
+		if err != nil {
+			return nil, err
+		}
+		dcfg := Default(DX)
+		dcfg.Cores = c.cores
+		dcfg.WarmLLC = true
+		if c.cores == 1 {
+			dcfg.LLCBytes = 2 << 20
+		}
+		inst2 := c.inst()
+		dx, err := RunInstance(inst2, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		sp := float64(base.Cycles) / float64(dx.Cycles)
+		s.AddRow(inst.Name, fmt.Sprint(base.Cycles), fmt.Sprint(dx.Cycles), f2x(sp), c.paper)
+	}
+	return s, nil
+}
+
+// Fig8bcAllMiss runs the All-Miss gather across the six index
+// orderings of Figure 8 (b)/(c).
+func Fig8bcAllMiss() (*Series, error) {
+	s := &Series{
+		Title:  "Figure 8b/c: All-Miss gather vs index ordering (64K unique indices)",
+		Header: []string{"ordering", "base cycles", "dx cycles", "speedup", "BW base", "BW dx"},
+	}
+	for _, cfg := range workloads.AllMissSeries() {
+		base, err := RunInstance(workloads.MicroAllMiss(cfg), Default(Baseline))
+		if err != nil {
+			return nil, err
+		}
+		dx, err := RunInstance(workloads.MicroAllMiss(cfg), Default(DX))
+		if err != nil {
+			return nil, err
+		}
+		s.AddRow(cfg.Label(), fmt.Sprint(base.Cycles), fmt.Sprint(dx.Cycles),
+			f2x(float64(base.Cycles)/float64(dx.Cycles)), pct(base.BWUtil), pct(dx.BWUtil))
+	}
+	s.Note("paper: speedup 9.9x (worst ordering) down to 1.7x (best); DX100 BW steady at 82-85%%")
+	return s, nil
+}
+
+// Fig13TileSize sweeps the scratchpad tile size (§6.4).
+func Fig13TileSize(scale int, names []string) (*Series, error) {
+	if names == nil {
+		names = workloads.Order
+	}
+	s := &Series{
+		Title:  "Figure 13: sensitivity to tile size",
+		Header: []string{"tile", "geomean speedup"},
+	}
+	var baseCycles = map[string]float64{}
+	for _, n := range names {
+		b, err := Run(n, scale, Default(Baseline))
+		if err != nil {
+			return nil, err
+		}
+		baseCycles[n] = float64(b.Cycles)
+	}
+	for _, tile := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
+		var sps []float64
+		for _, n := range names {
+			cfg := Default(DX)
+			cfg.Accel.Machine.TileElems = tile
+			dx, err := Run(n, scale, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sps = append(sps, baseCycles[n]/float64(dx.Cycles))
+		}
+		s.AddRow(fmt.Sprintf("%dK", tile/1024), f2x(sim.Geomean(sps)))
+	}
+	s.Note("paper: 1.7x at 1K rising to 2.9x at 32K")
+	return s, nil
+}
+
+// Fig14Scalability runs the 8-core scaling study (§6.6).
+func Fig14Scalability(scale int, names []string) (*Series, error) {
+	if names == nil {
+		names = workloads.Order
+	}
+	s := &Series{
+		Title:  "Figure 14: scalability (speedup over same-core-count baseline)",
+		Header: []string{"config", "geomean speedup"},
+	}
+	configs := []struct {
+		label string
+		base  SystemConfig
+		dx    SystemConfig
+		scale int
+	}{
+		{"4 cores, 1x DX100", Default(Baseline), Default(DX), scale},
+		{"8 cores, 1x DX100 (4MB SPD)", Scale8Baseline(), Scale8(1), scale * 2},
+		{"8 cores, 2x DX100", Scale8Baseline(), Scale8(2), scale * 2},
+	}
+	for _, c := range configs {
+		var sps []float64
+		for _, n := range names {
+			b, err := Run(n, c.scale, c.base)
+			if err != nil {
+				return nil, err
+			}
+			d, err := Run(n, c.scale, c.dx)
+			if err != nil {
+				return nil, err
+			}
+			sps = append(sps, float64(b.Cycles)/float64(d.Cycles))
+		}
+		s.AddRow(c.label, f2x(sim.Geomean(sps)))
+	}
+	s.Note("paper: 2.6x / 2.5x / 2.7x")
+	return s, nil
+}
+
+// AblationReorder quantifies the design choices of DESIGN.md: Row
+// Table reordering+coalescing on/off and direct-DRAM injection vs
+// LLC-only routing.
+func AblationReorder(scale int, names []string) (*Series, error) {
+	if names == nil {
+		names = []string{"IS", "GZZ", "XRAGE"}
+	}
+	s := &Series{
+		Title:  "Ablation: reordering window and DRAM injection path",
+		Header: []string{"workload", "full dx100", "tiny row table", "LLC-inject"},
+	}
+	for _, n := range names {
+		base, err := Run(n, scale, Default(Baseline))
+		if err != nil {
+			return nil, err
+		}
+		full, err := Run(n, scale, Default(DX))
+		if err != nil {
+			return nil, err
+		}
+		tiny := Default(DX)
+		tiny.Accel.RowTable = dx100.RowTableConfig{Rows: 1, Cols: 1}
+		tinyRes, err := Run(n, scale, tiny)
+		if err != nil {
+			return nil, err
+		}
+		llc := Default(DX)
+		llc.Accel.ForceLLCRoute = true
+		llcRes, err := Run(n, scale, llc)
+		if err != nil {
+			return nil, err
+		}
+		b := float64(base.Cycles)
+		s.AddRow(n,
+			f2x(b/float64(full.Cycles)),
+			f2x(b/float64(tinyRes.Cycles)),
+			f2x(b/float64(llcRes.Cycles)))
+	}
+	return s, nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

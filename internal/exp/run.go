@@ -1,0 +1,259 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"dx100/internal/cache"
+	"dx100/internal/cpu"
+	"dx100/internal/dram"
+	"dx100/internal/dx100"
+	"dx100/internal/loopir"
+	"dx100/internal/memspace"
+	"dx100/internal/prefetch"
+	"dx100/internal/sim"
+	"dx100/internal/workloads"
+)
+
+// Result carries the measurements of one run — the quantities Figures
+// 9-12 plot.
+type Result struct {
+	Workload     string
+	Mode         Mode
+	Cycles       sim.Cycle
+	Instructions float64
+	BWUtil       float64
+	RBH          float64
+	Occupancy    float64
+	MPKI         float64
+	Stats        *sim.Stats
+}
+
+// system is one assembled simulation.
+type system struct {
+	cfg    SystemConfig
+	eng    *sim.Engine
+	stats  *sim.Stats
+	mem    *dram.System
+	hier   *cache.Hierarchy
+	cores  []*cpu.Core
+	accels []*dx100.Accel
+}
+
+// build assembles the system around an already-generated workload
+// instance.
+func build(inst *workloads.Instance, cfg SystemConfig) *system {
+	s := &system{cfg: cfg}
+	s.eng = sim.NewEngine()
+	s.eng.MaxCycles = cfg.MaxCycles
+	s.stats = sim.NewStats()
+	s.mem = dram.NewSystem(s.eng, cfg.DRAM, s.stats, "dram.")
+	hcfg := cache.SkylakeLike(cfg.Cores, cfg.LLCBytes)
+	s.hier = cache.NewHierarchy(s.eng, hcfg, s.mem, s.stats, "")
+
+	var dir *dx100.RegionDirectory
+	if cfg.Mode == DX && cfg.Instances > 1 {
+		dir = dx100.NewRegionDirectory()
+	}
+	if cfg.Mode == DX {
+		for i := 0; i < cfg.Instances; i++ {
+			a := dx100.New(s.eng, cfg.Accel, inst.Space, s.mem, s.hier.LLC, s.hier, s.stats, fmt.Sprintf("dx100.%d.", i))
+			if dir != nil {
+				a.AttachDirectory(dir, i)
+			}
+			for _, r := range inst.Space.Regions() {
+				a.TLB().Preload(r)
+			}
+			s.accels = append(s.accels, a)
+		}
+	}
+	translate := inst.Space.Translate
+	for i := 0; i < cfg.Cores; i++ {
+		var front cache.Level = s.hier.L1[i]
+		switch cfg.Mode {
+		case DX:
+			front = dx100.NewRouter(s.accels[i*cfg.Instances/cfg.Cores], s.hier.L1[i])
+		case DMP:
+			// DMP observes the core's demand stream and prefetches
+			// into its L2 (§6.3).
+			d := prefetch.New(s.eng, cfg.DMP, inst.Space, s.hier.L1[i], s.hier.L2[i], s.stats, "dmp.")
+			for _, p := range inst.DMP() {
+				d.Register(p)
+			}
+			front = d
+		}
+		s.cores = append(s.cores, cpu.NewCore(s.eng, cfg.Core, front, translate, s.stats, fmt.Sprintf("core%d.", i)))
+	}
+	return s
+}
+
+// run drives the engine until every core has retired its stream.
+func (s *system) run() (sim.Cycle, error) {
+	done := func() bool {
+		for _, c := range s.cores {
+			if !c.Done() {
+				return false
+			}
+		}
+		for _, a := range s.accels {
+			if !a.Idle() {
+				return false
+			}
+		}
+		return true
+	}
+	return s.eng.Run(done)
+}
+
+// collect folds the statistics into a Result.
+func (s *system) collect(name string, end sim.Cycle) Result {
+	instr := 0.0
+	for i := range s.cores {
+		instr += s.stats.Get(fmt.Sprintf("core%d.instructions", i))
+	}
+	mpki := 0.0
+	if instr > 0 {
+		mpki = s.stats.Get("l1d.misses") / (instr / 1000)
+	}
+	return Result{
+		Workload:     name,
+		Mode:         s.cfg.Mode,
+		Cycles:       end,
+		Instructions: instr,
+		BWUtil:       s.mem.BandwidthUtilization(),
+		RBH:          s.mem.RowBufferHitRate(),
+		Occupancy:    s.mem.Occupancy(),
+		MPKI:         mpki,
+		Stats:        s.stats,
+	}
+}
+
+// Run generates the workload at the given scale and executes it on the
+// configured system.
+func Run(name string, scale int, cfg SystemConfig) (Result, error) {
+	b, ok := workloads.Registry[name]
+	if !ok {
+		return Result{}, fmt.Errorf("exp: unknown workload %q", name)
+	}
+	return RunInstance(b(scale), cfg)
+}
+
+// warmLLC touches every line of every allocated region through the
+// LLC, then resets the statistics (§6.1 All-Hit scenario).
+func (s *system) warmLLC(inst *workloads.Instance) error {
+	type job struct{ lo, hi memspace.PAddr }
+	var jobs []job
+	for _, r := range inst.Space.Regions() {
+		if strings.Contains(r.Name, "spd") {
+			continue // the scratchpad region is not cacheable data
+		}
+		lo := inst.Space.Translate(r.Base)
+		jobs = append(jobs, job{lo, lo + memspace.PAddr(r.Size)})
+	}
+	ji := 0
+	cur := jobs[0].lo
+	outstanding := 0
+	s.eng.Register(sim.TickerFunc(func(now sim.Cycle) bool {
+		for ji < len(jobs) {
+			if cur >= jobs[ji].hi {
+				ji++
+				if ji == len(jobs) {
+					break
+				}
+				cur = jobs[ji].lo
+				continue
+			}
+			outstanding++
+			if !s.hier.LLC.Access(now, cur, cache.Load, func(sim.Cycle) { outstanding-- }) {
+				outstanding--
+				break
+			}
+			cur += memspace.LineSize
+		}
+		return ji < len(jobs) || outstanding > 0
+	}))
+	if _, err := s.eng.Run(nil); err != nil {
+		return err
+	}
+	s.stats.Reset()
+	return nil
+}
+
+// RunInstance executes an already-built instance.
+func RunInstance(inst *workloads.Instance, cfg SystemConfig) (Result, error) {
+	s := build(inst, cfg)
+	if cfg.WarmLLC {
+		if err := s.warmLLC(inst); err != nil {
+			return Result{}, fmt.Errorf("exp: warm: %w", err)
+		}
+	}
+	start := s.eng.Now()
+	switch cfg.Mode {
+	case Baseline, DMP:
+		if err := s.attachBaselineStreams(inst); err != nil {
+			return Result{}, err
+		}
+	case DX:
+		if err := s.attachDXStreams(inst); err != nil {
+			return Result{}, err
+		}
+	}
+	end, err := s.run()
+	if err != nil {
+		return Result{}, fmt.Errorf("exp: %s/%s: %w", inst.Name, cfg.Mode, err)
+	}
+	return s.collect(inst.Name, end-start), nil
+}
+
+// seqStream concatenates streams.
+type seqStream struct {
+	parts []cpu.Stream
+	idx   int
+}
+
+func (s *seqStream) Next() (cpu.MicroOp, bool) {
+	for s.idx < len(s.parts) {
+		if op, ok := s.parts[s.idx].Next(); ok {
+			return op, true
+		}
+		s.idx++
+	}
+	return cpu.MicroOp{}, false
+}
+
+// attachBaselineStreams partitions each kernel's outer iterations
+// across the cores, with a global barrier between kernels.
+func (s *system) attachBaselineStreams(inst *workloads.Instance) error {
+	n := s.cfg.Cores
+	kernelDone := make([]int, len(inst.Kernels))
+	for c := 0; c < n; c++ {
+		var parts []cpu.Stream
+		for ki, k := range inst.Kernels {
+			env := &loopir.Env{Params: k.Params}
+			lo, hi, err := loopir.InterpretBounds(k, env)
+			if err != nil {
+				return err
+			}
+			span := hi - lo
+			myLo := lo + span*int64(c)/int64(n)
+			myHi := lo + span*int64(c+1)/int64(n)
+			g := &loopir.UopGen{
+				K: k, B: inst.Binder, Space: inst.Space,
+				Lo: myLo, Hi: myHi,
+				Atomic: inst.AtomicRMW && n > 1,
+			}
+			ki := ki
+			parts = append(parts,
+				g.Stream(),
+				// Fence, signal completion, wait for the other cores.
+				&cpu.SliceStream{Ops: []cpu.MicroOp{
+					{Kind: cpu.Barrier},
+					{Kind: cpu.Effect, Dep1: 1, Emit: func(sim.Cycle) { kernelDone[ki]++ }},
+					{Kind: cpu.Barrier, Ready: func() bool { return kernelDone[ki] >= n }},
+				}},
+			)
+		}
+		s.cores[c].Run(&seqStream{parts: parts})
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is a printable experiment result: one table or bar series of
+// the paper.
+type Series struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (s *Series) AddRow(cells ...string) {
+	s.Rows = append(s.Rows, cells)
+}
+
+// Note appends a trailing annotation (e.g. "geomean 2.6x").
+func (s *Series) Note(format string, args ...interface{}) {
+	s.Notes = append(s.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders an aligned ASCII table.
+func (s *Series) String() string {
+	widths := make([]int, len(s.Header))
+	for i, h := range s.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range s.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", s.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(s.Header)
+	for _, r := range s.Rows {
+		line(r)
+	}
+	for _, n := range s.Notes {
+		fmt.Fprintf(&b, "-- %s\n", n)
+	}
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f2x(v float64) string { return fmt.Sprintf("%.2fx", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", 100*v) }

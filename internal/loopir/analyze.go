@@ -1,0 +1,215 @@
+package loopir
+
+import (
+	"fmt"
+
+	"dx100/internal/dx100"
+)
+
+// AccessKind distinguishes the access types of Table 1.
+type AccessKind int
+
+const (
+	// AccLoad is a read.
+	AccLoad AccessKind = iota
+	// AccStore is a write.
+	AccStore
+	// AccRMW is a read-modify-write.
+	AccRMW
+)
+
+func (k AccessKind) String() string {
+	return [...]string{"LD", "ST", "RMW"}[k]
+}
+
+// Access describes one array reference found by the analysis pass.
+type Access struct {
+	Array       string
+	Kind        AccessKind
+	Depth       int // 0 = streaming/affine, 1 = A[B[i]], 2 = A[B[C[i]]], ...
+	Conditional bool
+	InRange     bool // inside a fused range loop
+}
+
+// Report is the output of Analyze — the per-kernel row of Table 1.
+type Report struct {
+	Kernel     string
+	Accesses   []Access
+	RangeLoops int
+	MaxDepth   int
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	s := fmt.Sprintf("%s: ranges=%d maxDepth=%d;", r.Kernel, r.RangeLoops, r.MaxDepth)
+	for _, a := range r.Accesses {
+		c := ""
+		if a.Conditional {
+			c = " cond"
+		}
+		s += fmt.Sprintf(" %s %s depth=%d%s;", a.Kind, a.Array, a.Depth, c)
+	}
+	return s
+}
+
+// depth performs the DFS over use-def chains (§4.2): the indirection
+// depth of an expression is the deepest chain of Loads between it and
+// an induction variable.
+func depth(x Expr) int {
+	switch ex := x.(type) {
+	case Load:
+		return 1 + depth(ex.Idx)
+	case Bin:
+		l, r := depth(ex.L), depth(ex.R)
+		if l > r {
+			return l
+		}
+		return r
+	default:
+		return 0
+	}
+}
+
+// Analyze classifies every array reference in the kernel.
+func Analyze(k *Kernel) Report {
+	rep := Report{Kernel: k.Name}
+	var walkStmts func(body []Stmt, cond, inRange bool)
+	record := func(arr string, kind AccessKind, idx Expr, cond, inRange bool) {
+		d := depth(idx)
+		if d > rep.MaxDepth {
+			rep.MaxDepth = d
+		}
+		rep.Accesses = append(rep.Accesses, Access{Array: arr, Kind: kind, Depth: d, Conditional: cond, InRange: inRange})
+	}
+	var walkExpr func(x Expr, cond, inRange bool)
+	walkExpr = func(x Expr, cond, inRange bool) {
+		switch ex := x.(type) {
+		case Load:
+			record(ex.Array, AccLoad, ex.Idx, cond, inRange)
+			walkExpr(ex.Idx, cond, inRange)
+		case Bin:
+			walkExpr(ex.L, cond, inRange)
+			walkExpr(ex.R, cond, inRange)
+		}
+	}
+	walkStmts = func(body []Stmt, cond, inRange bool) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case Store:
+				record(st.Array, AccStore, st.Idx, cond, inRange)
+				walkExpr(st.Idx, cond, inRange)
+				walkExpr(st.Val, cond, inRange)
+			case Update:
+				record(st.Array, AccRMW, st.Idx, cond, inRange)
+				walkExpr(st.Idx, cond, inRange)
+				walkExpr(st.Val, cond, inRange)
+			case If:
+				walkExpr(st.Cond, cond, inRange)
+				walkStmts(st.Body, true, inRange)
+			case Inner:
+				rep.RangeLoops++
+				walkExpr(st.Lo, cond, inRange)
+				walkExpr(st.Hi, cond, inRange)
+				walkStmts(st.Body, cond, true)
+			}
+		}
+	}
+	walkStmts(k.Body, false, false)
+	return rep
+}
+
+// Legal checks the transformation's legality requirements (§4.2):
+// no array may be both stored to and explicitly loaded within the loop
+// (hoisting the loads could then read stale data — the Gauss-Seidel
+// case), and every RMW operation must be associative and commutative
+// because DX100 reorders updates.
+func Legal(k *Kernel) error {
+	written := map[string]bool{}
+	var rmwOps []dx100.ALUOp
+	var walk func(body []Stmt) error
+	walk = func(body []Stmt) error {
+		for _, s := range body {
+			switch st := s.(type) {
+			case Store:
+				written[st.Array] = true
+			case Update:
+				written[st.Array] = true
+				rmwOps = append(rmwOps, st.Op)
+			case If:
+				if err := walk(st.Body); err != nil {
+					return err
+				}
+			case Inner:
+				if err := walk(st.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(k.Body); err != nil {
+		return err
+	}
+	for _, op := range rmwOps {
+		if !op.Commutative() {
+			return fmt.Errorf("loopir: RMW op %s is not associative+commutative", op)
+		}
+	}
+	// Any explicit Load of a written array aliases the hoisted reads.
+	var findLoads func(x Expr) error
+	findLoads = func(x Expr) error {
+		switch ex := x.(type) {
+		case Load:
+			if written[ex.Array] {
+				return fmt.Errorf("loopir: array %q is both stored and loaded in the loop; hoisting is illegal (possible aliasing)", ex.Array)
+			}
+			return findLoads(ex.Idx)
+		case Bin:
+			if err := findLoads(ex.L); err != nil {
+				return err
+			}
+			return findLoads(ex.R)
+		}
+		return nil
+	}
+	var walkLoads func(body []Stmt) error
+	walkLoads = func(body []Stmt) error {
+		for _, s := range body {
+			switch st := s.(type) {
+			case Store:
+				if err := findLoads(st.Idx); err != nil {
+					return err
+				}
+				if err := findLoads(st.Val); err != nil {
+					return err
+				}
+			case Update:
+				if err := findLoads(st.Idx); err != nil {
+					return err
+				}
+				if err := findLoads(st.Val); err != nil {
+					return err
+				}
+			case If:
+				if err := findLoads(st.Cond); err != nil {
+					return err
+				}
+				if err := walkLoads(st.Body); err != nil {
+					return err
+				}
+			case Inner:
+				if err := findLoads(st.Lo); err != nil {
+					return err
+				}
+				if err := findLoads(st.Hi); err != nil {
+					return err
+				}
+				if err := walkLoads(st.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walkLoads(k.Body)
+}

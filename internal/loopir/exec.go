@@ -1,0 +1,64 @@
+package loopir
+
+import (
+	"fmt"
+
+	"dx100/internal/dx100"
+)
+
+// ExecuteOps runs a lowered tile program on the functional machine —
+// the manual-API execution path of §4.1.
+func ExecuteOps(m *dx100.Machine, ops []Op) error {
+	for i, op := range ops {
+		for _, rs := range op.Regs {
+			m.SetReg(rs.Reg, rs.Val)
+		}
+		if op.Tile != nil {
+			t := m.Tile(op.Tile.Tile)
+			for j, v := range op.Tile.Values {
+				t.SetRaw(j, v)
+			}
+			t.SetSize(len(op.Tile.Values))
+		}
+		if op.Instr != nil {
+			if err := m.Exec(*op.Instr); err != nil {
+				return fmt.Errorf("loopir: op %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the whole kernel on the functional machine in chunks of
+// at most chunk outer iterations. Kernels with range loops should pick
+// a chunk small enough that the fused iteration space fits a tile
+// (e.g. tileElems / expected expansion); an RNG overflow surfaces as
+// an error.
+func (c *Compiled) Run(m *dx100.Machine, chunk int) error {
+	if chunk <= 0 || chunk > c.TileElems {
+		chunk = c.TileElems
+	}
+	env := &Env{Params: c.K.Params}
+	lo, err := evalScalar(c.K, env, c.K.Lo)
+	if err != nil {
+		return err
+	}
+	hi, err := evalScalar(c.K, env, c.K.Hi)
+	if err != nil {
+		return err
+	}
+	for t := int64(lo); t < int64(hi); t += int64(chunk) {
+		end := t + int64(chunk)
+		if end > int64(hi) {
+			end = int64(hi)
+		}
+		ops, err := c.TileProgram(t, end)
+		if err != nil {
+			return err
+		}
+		if err := ExecuteOps(m, ops); err != nil {
+			return fmt.Errorf("loopir: tile [%d,%d): %w", t, end, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package loopir
+
+import (
+	"fmt"
+
+	"dx100/internal/dx100"
+)
+
+// Env is the reference-interpreter state: array contents as raw words
+// plus runtime parameter values. It defines the semantics that both
+// the baseline µop generators and the lowered DX100 programs must
+// reproduce.
+type Env struct {
+	Arrays map[string][]uint64
+	Params map[string]uint64
+}
+
+// NewEnv allocates zeroed arrays for the kernel.
+func NewEnv(k *Kernel) *Env {
+	e := &Env{Arrays: make(map[string][]uint64), Params: make(map[string]uint64)}
+	for name, info := range k.Arrays {
+		e.Arrays[name] = make([]uint64, info.Len)
+	}
+	for name, v := range k.Params {
+		e.Params[name] = v
+	}
+	return e
+}
+
+// Interpret executes the kernel directly — the legacy C loop of
+// Figure 7a.
+func Interpret(k *Kernel, e *Env) error {
+	lo, err := evalScalar(k, e, k.Lo)
+	if err != nil {
+		return err
+	}
+	hi, err := evalScalar(k, e, k.Hi)
+	if err != nil {
+		return err
+	}
+	vars := map[string]uint64{}
+	for i := lo; int64(i) < int64(hi); i++ {
+		vars[k.Var] = i
+		if err := interpStmts(k, e, vars, k.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func interpStmts(k *Kernel, e *Env, vars map[string]uint64, body []Stmt) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Store:
+			idx, err := interpExpr(k, e, vars, st.Idx)
+			if err != nil {
+				return err
+			}
+			val, err := interpExpr(k, e, vars, st.Val)
+			if err != nil {
+				return err
+			}
+			arr, ok := e.Arrays[st.Array]
+			if !ok {
+				return fmt.Errorf("loopir: unknown array %q", st.Array)
+			}
+			arr[idx] = val
+		case Update:
+			idx, err := interpExpr(k, e, vars, st.Idx)
+			if err != nil {
+				return err
+			}
+			val, err := interpExpr(k, e, vars, st.Val)
+			if err != nil {
+				return err
+			}
+			arr := e.Arrays[st.Array]
+			arr[idx] = dx100.EvalALU(st.Op, k.Arrays[st.Array].DType, arr[idx], val)
+		case If:
+			c, err := interpExpr(k, e, vars, st.Cond)
+			if err != nil {
+				return err
+			}
+			if c != 0 {
+				if err := interpStmts(k, e, vars, st.Body); err != nil {
+					return err
+				}
+			}
+		case Inner:
+			lo, err := interpExpr(k, e, vars, st.Lo)
+			if err != nil {
+				return err
+			}
+			hi, err := interpExpr(k, e, vars, st.Hi)
+			if err != nil {
+				return err
+			}
+			for j := lo; int64(j) < int64(hi); j++ {
+				vars[st.Var] = j
+				if err := interpStmts(k, e, vars, st.Body); err != nil {
+					return err
+				}
+			}
+			delete(vars, st.Var)
+		default:
+			return fmt.Errorf("loopir: unknown stmt %T", s)
+		}
+	}
+	return nil
+}
+
+func interpExpr(k *Kernel, e *Env, vars map[string]uint64, x Expr) (uint64, error) {
+	switch ex := x.(type) {
+	case Imm:
+		return uint64(ex.Val), nil
+	case Param:
+		v, ok := e.Params[ex.Name]
+		if !ok {
+			return 0, fmt.Errorf("loopir: unknown param %q", ex.Name)
+		}
+		return v, nil
+	case Var:
+		v, ok := vars[ex.Name]
+		if !ok {
+			return 0, fmt.Errorf("loopir: unbound variable %q", ex.Name)
+		}
+		return v, nil
+	case Load:
+		arr, ok := e.Arrays[ex.Array]
+		if !ok {
+			return 0, fmt.Errorf("loopir: unknown array %q", ex.Array)
+		}
+		idx, err := interpExpr(k, e, vars, ex.Idx)
+		if err != nil {
+			return 0, err
+		}
+		if int64(idx) < 0 || idx >= uint64(len(arr)) {
+			return 0, fmt.Errorf("loopir: %s[%d] out of range %d", ex.Array, idx, len(arr))
+		}
+		return arr[idx], nil
+	case Bin:
+		l, err := interpExpr(k, e, vars, ex.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := interpExpr(k, e, vars, ex.R)
+		if err != nil {
+			return 0, err
+		}
+		return dx100.EvalALU(ex.Op, exprDType(k, ex), l, r), nil
+	default:
+		return 0, fmt.Errorf("loopir: unknown expr %T", x)
+	}
+}
+
+// InterpretBounds evaluates the kernel's outer loop bounds.
+func InterpretBounds(k *Kernel, e *Env) (lo, hi int64, err error) {
+	l, err := evalScalar(k, e, k.Lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	h, err := evalScalar(k, e, k.Hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(l), int64(h), nil
+}
+
+// evalScalar evaluates an expression with no variables or loads.
+func evalScalar(k *Kernel, e *Env, x Expr) (uint64, error) {
+	return interpExpr(k, e, nil, x)
+}
+
+// exprDType infers the element type an expression computes in: the
+// type of the first array it loads, else U64. Index arithmetic and
+// conditions in Table 1's kernels are integer; value arithmetic takes
+// the value array's type.
+func exprDType(k *Kernel, x Expr) dx100.DType {
+	switch ex := x.(type) {
+	case Load:
+		return k.Arrays[ex.Array].DType
+	case Bin:
+		if d := exprDType(k, ex.L); d != dx100.U64 {
+			return d
+		}
+		return exprDType(k, ex.R)
+	}
+	return dx100.U64
+}

@@ -1,0 +1,100 @@
+// Package loopir is the compiler substrate standing in for the paper's
+// MLIR/Polygeist pipeline (§4.2). It defines a small loop-level IR
+// covering the access patterns of Table 1, and three passes mirroring
+// Figure 7:
+//
+//  1. analysis — a DFS over use-def chains from the loop induction
+//     variable classifies every array reference as streaming or
+//     indirect (with its indirection depth) and finds conditions;
+//  2. legality — alias/dependence checks reject loops DX100 cannot
+//     accelerate (stores aliasing hoisted loads, non-commutative RMW);
+//  3. lowering — tiling plus hoist/sink of the packed accesses,
+//     emitting DX100 instruction programs per tile.
+package loopir
+
+import "dx100/internal/dx100"
+
+// Expr is an expression appearing in loop bounds, indices, conditions
+// and stored values.
+type Expr interface{ isExpr() }
+
+// Var references a loop induction variable by name.
+type Var struct{ Name string }
+
+// Imm is an integer literal.
+type Imm struct{ Val int64 }
+
+// Param references a runtime scalar parameter by name.
+type Param struct{ Name string }
+
+// Load is an array element read: Array[Idx].
+type Load struct {
+	Array string
+	Idx   Expr
+}
+
+// Bin applies a binary ALU operation.
+type Bin struct {
+	Op   dx100.ALUOp
+	L, R Expr
+}
+
+func (Var) isExpr()   {}
+func (Imm) isExpr()   {}
+func (Param) isExpr() {}
+func (Load) isExpr()  {}
+func (Bin) isExpr()   {}
+
+// Stmt is a loop-body statement.
+type Stmt interface{ isStmt() }
+
+// Store writes Array[Idx] = Val.
+type Store struct {
+	Array string
+	Idx   Expr
+	Val   Expr
+}
+
+// Update is a read-modify-write: Array[Idx] Op= Val.
+type Update struct {
+	Array string
+	Idx   Expr
+	Op    dx100.ALUOp
+	Val   Expr
+}
+
+// If guards its body statements by Cond != 0.
+type If struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// Inner is a nested (range) loop statement: for Var in [Lo, Hi).
+type Inner struct {
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Body []Stmt
+}
+
+func (Store) isStmt()  {}
+func (Update) isStmt() {}
+func (If) isStmt()     {}
+func (Inner) isStmt()  {}
+
+// ArrayInfo describes one array operand of a kernel.
+type ArrayInfo struct {
+	DType dx100.DType
+	Len   int
+}
+
+// Kernel is a complete loop nest: the outer single loop i = Lo to Hi
+// over Body, with array and parameter declarations.
+type Kernel struct {
+	Name   string
+	Arrays map[string]ArrayInfo
+	Params map[string]uint64
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+}

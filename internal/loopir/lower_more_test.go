@@ -1,0 +1,234 @@
+package loopir
+
+import (
+	"math/rand"
+	"testing"
+
+	"dx100/internal/dx100"
+	"dx100/internal/memspace"
+)
+
+// TestLowerScalarCompareMirrored exercises the scalar-OP-tile swap:
+// `F < D[i]` must lower to an ALUS with the mirrored comparison.
+func TestLowerScalarCompareMirrored(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 200
+	k := &Kernel{
+		Name: "mirror",
+		Arrays: map[string]ArrayInfo{
+			"A": {DType: dx100.U64, Len: 64},
+			"B": {DType: dx100.U64, Len: n},
+			"D": {DType: dx100.U64, Len: n},
+		},
+		Params: map[string]uint64{"F": 40},
+		Var:    "i", Lo: Imm{0}, Hi: Imm{int64(n)},
+		Body: []Stmt{If{
+			// scalar on the left: F < D[i]
+			Cond: Bin{dx100.OpLT, Param{"F"}, Load{"D", Var{"i"}}},
+			Body: []Stmt{Update{Array: "A", Idx: Load{"B", Var{"i"}}, Op: dx100.OpAdd, Val: Imm{1}}},
+		}},
+	}
+	h := newHarness(t, k, map[string][]uint64{
+		"B": randVals(rng, n, 64),
+		"D": randVals(rng, n, 80),
+	}, 128)
+	h.runBoth(t, 0)
+}
+
+// TestLowerScalarCommutativeSwap: scalar + tile swaps operands.
+func TestLowerScalarCommutativeSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 150
+	k := &Kernel{
+		Name: "swap",
+		Arrays: map[string]ArrayInfo{
+			"A": {DType: dx100.U64, Len: 256},
+			"B": {DType: dx100.U64, Len: n},
+			"C": {DType: dx100.U64, Len: n},
+		},
+		Params: map[string]uint64{"F": 7},
+		Var:    "i", Lo: Imm{0}, Hi: Imm{int64(n)},
+		// A[F + B[i]] = C[i]: scalar on the left of a commutative add.
+		Body: []Stmt{Store{Array: "A",
+			Idx: Bin{dx100.OpAdd, Param{"F"}, Load{"B", Var{"i"}}},
+			Val: Load{"C", Var{"i"}}}},
+	}
+	h := newHarness(t, k, map[string][]uint64{
+		"B": randVals(rng, n, 200),
+		"C": randVals(rng, n, 1000),
+	}, 64)
+	h.runBoth(t, 0)
+}
+
+// TestLowerScalarSubTileRejected: scalar - tile has no ALUS form.
+func TestLowerScalarSubTileRejected(t *testing.T) {
+	k := &Kernel{
+		Name: "subrej",
+		Arrays: map[string]ArrayInfo{
+			"A": {DType: dx100.U64, Len: 64},
+			"B": {DType: dx100.U64, Len: 8},
+		},
+		Params: map[string]uint64{"F": 100},
+		Var:    "i", Lo: Imm{0}, Hi: Imm{8},
+		Body: []Stmt{Store{Array: "A",
+			Idx: Bin{dx100.OpSub, Param{"F"}, Load{"B", Var{"i"}}},
+			Val: Imm{1}}},
+	}
+	c, err := Compile(k, Binder{Base: map[string]memspace.VAddr{"A": 1 << 21, "B": 2 << 21}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TileProgram(0, 8); err == nil {
+		t.Fatal("scalar-minus-tile lowered without error")
+	}
+}
+
+// TestLowerNestedConditions ANDs nested If conditions.
+func TestLowerNestedConditions(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 300
+	k := &Kernel{
+		Name: "nested",
+		Arrays: map[string]ArrayInfo{
+			"A": {DType: dx100.U64, Len: 64},
+			"B": {DType: dx100.U64, Len: n},
+			"D": {DType: dx100.U64, Len: n},
+			"E": {DType: dx100.U64, Len: n},
+		},
+		Params: map[string]uint64{"F": 4, "G": 2},
+		Var:    "i", Lo: Imm{0}, Hi: Imm{int64(n)},
+		Body: []Stmt{If{
+			Cond: Bin{dx100.OpGE, Load{"D", Var{"i"}}, Param{"F"}},
+			Body: []Stmt{If{
+				Cond: Bin{dx100.OpLT, Load{"E", Var{"i"}}, Param{"G"}},
+				Body: []Stmt{Update{Array: "A", Idx: Load{"B", Var{"i"}}, Op: dx100.OpAdd, Val: Imm{1}}},
+			}},
+		}},
+	}
+	h := newHarness(t, k, map[string][]uint64{
+		"B": randVals(rng, n, 64),
+		"D": randVals(rng, n, 8),
+		"E": randVals(rng, n, 4),
+	}, 100)
+	h.runBoth(t, 0)
+}
+
+// TestLowerScalarCondFolds: a compile-time-constant condition folds
+// away instead of emitting tile ops.
+func TestLowerScalarCondFolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	n := 64
+	mk := func(taken int64) *Kernel {
+		return &Kernel{
+			Name: "fold",
+			Arrays: map[string]ArrayInfo{
+				"A": {DType: dx100.U64, Len: 64},
+				"B": {DType: dx100.U64, Len: n},
+			},
+			Var: "i", Lo: Imm{0}, Hi: Imm{int64(n)},
+			Body: []Stmt{If{
+				Cond: Imm{taken},
+				Body: []Stmt{Update{Array: "A", Idx: Load{"B", Var{"i"}}, Op: dx100.OpAdd, Val: Imm{1}}},
+			}},
+		}
+	}
+	for _, taken := range []int64{0, 1} {
+		h := newHarness(t, mk(taken), map[string][]uint64{"B": randVals(rng, n, 64)}, 64)
+		h.runBoth(t, 0)
+	}
+}
+
+// TestLowerConstantStoreMaterializes: storing a constant through an
+// indirect index forces a materialized value tile.
+func TestLowerConstantStoreMaterializes(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	n := 120
+	k := &Kernel{
+		Name: "cstore",
+		Arrays: map[string]ArrayInfo{
+			"A": {DType: dx100.U64, Len: 128},
+			"B": {DType: dx100.U64, Len: n},
+		},
+		Var: "i", Lo: Imm{0}, Hi: Imm{int64(n)},
+		Body: []Stmt{Store{Array: "A", Idx: Load{"B", Var{"i"}}, Val: Imm{77}}},
+	}
+	h := newHarness(t, k, map[string][]uint64{"B": randVals(rng, n, 128)}, 64)
+	h.runBoth(t, 0)
+}
+
+// TestLowerConditionalStreamingStore: an affine store under a
+// condition lowers to a conditioned SST.
+func TestLowerConditionalStreamingStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	n := 140
+	k := &Kernel{
+		Name: "condsst",
+		Arrays: map[string]ArrayInfo{
+			"C": {DType: dx100.U64, Len: n},
+			"D": {DType: dx100.U64, Len: n},
+			"X": {DType: dx100.U64, Len: n},
+		},
+		Params: map[string]uint64{"F": 3},
+		Var:    "i", Lo: Imm{0}, Hi: Imm{int64(n)},
+		Body: []Stmt{If{
+			Cond: Bin{dx100.OpGE, Load{"D", Var{"i"}}, Param{"F"}},
+			Body: []Stmt{Store{Array: "C", Idx: Var{"i"}, Val: Load{"X", Var{"i"}}}},
+		}},
+	}
+	h := newHarness(t, k, map[string][]uint64{
+		"D": randVals(rng, n, 6),
+		"X": randVals(rng, n, 1000),
+	}, 64)
+	h.runBoth(t, 0)
+}
+
+// TestTileBankWindows: lowering into a restricted tile/register bank
+// stays within it and still computes correctly.
+func TestTileBankWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n, aLen := 200, 128
+	k := gatherKernel(n, aLen)
+	h := newHarness(t, k, map[string][]uint64{
+		"A": randVals(rng, aLen, 1000),
+		"B": randVals(rng, n, aLen),
+	}, 64)
+	if err := Interpret(h.k, h.env); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(k, h.bind, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for chunk, lo := 0, int64(0); lo < int64(n); chunk, lo = chunk+1, lo+64 {
+		hi := lo + 64
+		if hi > int64(n) {
+			hi = int64(n)
+		}
+		base := (chunk % 2) * 16
+		c.TileBase, c.TileLimit = base, base+16
+		c.RegBase, c.RegLimit = base, base+16
+		ops, err := c.TileProgram(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			if op.Instr == nil {
+				continue
+			}
+			for _, tl := range []uint8{op.Instr.TD, op.Instr.TS1} {
+				if int(tl) != 0 && (int(tl) < base || int(tl) >= base+16) && tl != dx100.NoTile {
+					t.Fatalf("chunk %d: tile %d outside bank [%d,%d)", chunk, tl, base, base+16)
+				}
+			}
+		}
+		if err := ExecuteOps(h.m, ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := h.env.Arrays["C"][i]
+		if got := h.m.Space().ReadWord(h.bind.Base["C"]+memspace.VAddr(i*8), 8); got != want {
+			t.Fatalf("C[%d] = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package loopir
+
+import (
+	"fmt"
+
+	"dx100/internal/cpu"
+	"dx100/internal/dx100"
+	"dx100/internal/memspace"
+)
+
+// UopGen generates the *baseline* execution of a kernel: the µop
+// stream a conventional core runs for iterations [Lo, Hi), with the
+// dependence structure (index load → address calculation → indirect
+// access) that limits the baseline's memory-level parallelism (§2.2).
+// It interprets the kernel against simulated memory while emitting, so
+// the baseline run both exhibits faithful timing and produces the
+// correct results for verification.
+type UopGen struct {
+	K      *Kernel
+	B      Binder
+	Space  *memspace.Space
+	Lo, Hi int64
+	// Atomic emits RMWs as locked operations, required for correctness
+	// on a multi-core baseline (§6.1).
+	Atomic bool
+}
+
+const noHandle = ^uint64(0)
+
+type emitter struct {
+	count uint64
+	buf   []cpu.MicroOp
+}
+
+// push emits op depending on the given handles, returning op's handle.
+func (e *emitter) push(op cpu.MicroOp, deps ...uint64) uint64 {
+	slot := 0
+	for _, d := range deps {
+		if d == noHandle {
+			continue
+		}
+		dist := uint32(e.count - d)
+		if slot == 0 {
+			op.Dep1 = dist
+		} else {
+			op.Dep2 = dist
+		}
+		slot++
+		if slot == 2 {
+			break
+		}
+	}
+	e.buf = append(e.buf, op)
+	e.count++
+	return e.count - 1
+}
+
+// Stream returns a lazy µop stream over the generator's iteration
+// range.
+func (g *UopGen) Stream() cpu.Stream {
+	i := g.Lo
+	e := &emitter{}
+	pos := 0
+	return cpu.FuncStream(func() (cpu.MicroOp, bool) {
+		for pos >= len(e.buf) {
+			if i >= g.Hi {
+				return cpu.MicroOp{}, false
+			}
+			e.buf = e.buf[:0]
+			pos = 0
+			// Recompute handle base: buffered handles are relative to
+			// e.count which keeps increasing; buf indices restart.
+			vars := map[string]uint64{g.K.Var: uint64(i)}
+			// Loop overhead: induction increment + bound check.
+			e.push(cpu.MicroOp{Kind: cpu.ALU, Weight: 2})
+			if err := g.stmts(e, vars, g.K.Body); err != nil {
+				panic(fmt.Sprintf("loopir: baseline generation failed: %v", err))
+			}
+			i++
+		}
+		op := e.buf[pos]
+		pos++
+		return op, true
+	})
+}
+
+func (g *UopGen) addrOf(arr string, idx uint64) (memspace.VAddr, int, error) {
+	info, ok := g.K.Arrays[arr]
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown array %q", arr)
+	}
+	base, ok := g.B.Base[arr]
+	if !ok {
+		return 0, 0, fmt.Errorf("unbound array %q", arr)
+	}
+	esz := info.DType.Size()
+	if int64(idx) < 0 || idx >= uint64(info.Len) {
+		return 0, 0, fmt.Errorf("%s[%d] out of range %d", arr, int64(idx), info.Len)
+	}
+	return base + memspace.VAddr(idx*uint64(esz)), esz, nil
+}
+
+// eval interprets an expression, emitting its µops, and returns the
+// value and the handle of the op producing it.
+func (g *UopGen) eval(e *emitter, vars map[string]uint64, x Expr) (uint64, uint64, error) {
+	switch ex := x.(type) {
+	case Imm:
+		return uint64(ex.Val), noHandle, nil
+	case Param:
+		v, ok := g.K.Params[ex.Name]
+		if !ok {
+			return 0, 0, fmt.Errorf("unknown param %q", ex.Name)
+		}
+		return v, noHandle, nil
+	case Var:
+		v, ok := vars[ex.Name]
+		if !ok {
+			return 0, 0, fmt.Errorf("unbound var %q", ex.Name)
+		}
+		return v, noHandle, nil
+	case Load:
+		idx, idxH, err := g.eval(e, vars, ex.Idx)
+		if err != nil {
+			return 0, 0, err
+		}
+		va, esz, err := g.addrOf(ex.Array, idx)
+		if err != nil {
+			return 0, 0, err
+		}
+		h := e.push(cpu.MicroOp{Kind: cpu.Load, Addr: va}, idxH)
+		return g.Space.ReadWord(va, esz), h, nil
+	case Bin:
+		l, lh, err := g.eval(e, vars, ex.L)
+		if err != nil {
+			return 0, 0, err
+		}
+		r, rh, err := g.eval(e, vars, ex.R)
+		if err != nil {
+			return 0, 0, err
+		}
+		h := e.push(cpu.MicroOp{Kind: cpu.ALU}, lh, rh)
+		return dx100.EvalALU(ex.Op, exprDType(g.K, ex), l, r), h, nil
+	}
+	return 0, 0, fmt.Errorf("unknown expr %T", x)
+}
+
+func (g *UopGen) stmts(e *emitter, vars map[string]uint64, body []Stmt) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Store:
+			idx, idxH, err := g.eval(e, vars, st.Idx)
+			if err != nil {
+				return err
+			}
+			val, valH, err := g.eval(e, vars, st.Val)
+			if err != nil {
+				return err
+			}
+			va, esz, err := g.addrOf(st.Array, idx)
+			if err != nil {
+				return err
+			}
+			e.push(cpu.MicroOp{Kind: cpu.Store, Addr: va}, idxH, valH)
+			g.Space.WriteWord(va, esz, val)
+		case Update:
+			idx, idxH, err := g.eval(e, vars, st.Idx)
+			if err != nil {
+				return err
+			}
+			val, valH, err := g.eval(e, vars, st.Val)
+			if err != nil {
+				return err
+			}
+			va, esz, err := g.addrOf(st.Array, idx)
+			if err != nil {
+				return err
+			}
+			old := g.Space.ReadWord(va, esz)
+			g.Space.WriteWord(va, esz, dx100.EvalALU(st.Op, g.K.Arrays[st.Array].DType, old, val))
+			if g.Atomic {
+				e.push(cpu.MicroOp{Kind: cpu.Atomic, Addr: va}, idxH, valH)
+			} else {
+				lh := e.push(cpu.MicroOp{Kind: cpu.Load, Addr: va}, idxH)
+				ah := e.push(cpu.MicroOp{Kind: cpu.ALU}, lh, valH)
+				e.push(cpu.MicroOp{Kind: cpu.Store, Addr: va}, ah)
+			}
+		case If:
+			c, _, err := g.eval(e, vars, st.Cond)
+			if err != nil {
+				return err
+			}
+			// The branch itself.
+			e.push(cpu.MicroOp{Kind: cpu.ALU})
+			if c != 0 {
+				if err := g.stmts(e, vars, st.Body); err != nil {
+					return err
+				}
+			}
+		case Inner:
+			lo, _, err := g.eval(e, vars, st.Lo)
+			if err != nil {
+				return err
+			}
+			hi, _, err := g.eval(e, vars, st.Hi)
+			if err != nil {
+				return err
+			}
+			for j := lo; int64(j) < int64(hi); j++ {
+				vars[st.Var] = j
+				e.push(cpu.MicroOp{Kind: cpu.ALU, Weight: 2}) // inner loop overhead
+				if err := g.stmts(e, vars, st.Body); err != nil {
+					return err
+				}
+			}
+			delete(vars, st.Var)
+		default:
+			return fmt.Errorf("unknown stmt %T", s)
+		}
+	}
+	return nil
+}

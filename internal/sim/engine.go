@@ -1,0 +1,143 @@
+// Package sim provides the discrete-event simulation engine shared by
+// every timing model in this repository: a cycle clock, an event heap,
+// and a set of tickers that are stepped once per cycle while active.
+//
+// The engine is deliberately hybrid. Components with dense per-cycle
+// behaviour (DRAM channel state machines, the out-of-order core window,
+// the DX100 functional units) register as Tickers. Components whose
+// behaviour is sparse in time (a cache hit returning after a fixed
+// latency, a message crossing the on-chip network) schedule one-shot
+// events. This keeps the DRAM timing exact while making cache hops
+// cheap.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle uint64
+
+// Ticker is a component stepped once per cycle while the engine runs.
+// Tick reports whether the component still has work outstanding; the
+// engine stops when no ticker has work and the event heap is empty.
+type Ticker interface {
+	// Tick advances the component by one cycle. busy reports whether
+	// the component has outstanding work (requests in flight,
+	// instructions unretired, ...). A quiescent component keeps being
+	// ticked — busy only feeds the global termination check.
+	Tick(now Cycle) (busy bool)
+}
+
+// TickerFunc adapts a function to the Ticker interface.
+type TickerFunc func(now Cycle) bool
+
+// Tick calls f.
+func (f TickerFunc) Tick(now Cycle) bool { return f(now) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Cycle
+	seq uint64 // tie-breaker: FIFO among same-cycle events
+	fn  func(now Cycle)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns simulated time. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	events  eventHeap
+	tickers []Ticker
+	// MaxCycles aborts the run when reached; it guards against
+	// deadlocked models in tests. Zero means no limit.
+	MaxCycles Cycle
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Register adds a ticker stepped every cycle.
+func (e *Engine) Register(t Ticker) {
+	e.tickers = append(e.tickers, t)
+}
+
+// Schedule runs fn at cycle `at`. Scheduling in the past (or at the
+// current cycle) runs the event on the next Step.
+func (e *Engine) Schedule(at Cycle, fn func(now Cycle)) {
+	if at <= e.now {
+		at = e.now + 1
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn delay cycles from now (at least one cycle later).
+func (e *Engine) After(delay Cycle, fn func(now Cycle)) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Step advances the clock one cycle: fires due events, then ticks every
+// ticker. It reports whether any component is still busy.
+func (e *Engine) Step() (busy bool) {
+	e.now++
+	for len(e.events) > 0 && e.events[0].at <= e.now {
+		ev := heap.Pop(&e.events).(event)
+		ev.fn(e.now)
+	}
+	for _, t := range e.tickers {
+		if t.Tick(e.now) {
+			busy = true
+		}
+	}
+	return busy || len(e.events) > 0
+}
+
+// Run steps until no ticker is busy and no events are pending, or until
+// done (if non-nil) reports true, or until MaxCycles elapses. It
+// returns the final cycle count and an error if the cycle limit was
+// hit.
+func (e *Engine) Run(done func() bool) (Cycle, error) {
+	for {
+		busy := e.Step()
+		if done != nil && done() {
+			return e.now, nil
+		}
+		if !busy && done == nil {
+			return e.now, nil
+		}
+		if !busy && done != nil {
+			// Nothing can make further progress but the completion
+			// predicate is unsatisfied: the model deadlocked.
+			return e.now, fmt.Errorf("sim: deadlock at cycle %d (no component busy, done()==false)", e.now)
+		}
+		if e.MaxCycles != 0 && e.now >= e.MaxCycles {
+			return e.now, fmt.Errorf("sim: cycle limit %d exceeded", e.MaxCycles)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats is a flat registry of named counters shared by the simulator
+// components. Components add to counters by name; the experiment
+// harness snapshots and formats them.
+type Stats struct {
+	counters map[string]float64
+}
+
+// NewStats returns an empty registry.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]float64)}
+}
+
+// Add increments counter name by v.
+func (s *Stats) Add(name string, v float64) {
+	s.counters[name] += v
+}
+
+// Inc increments counter name by one.
+func (s *Stats) Inc(name string) { s.Add(name, 1) }
+
+// Set overwrites counter name.
+func (s *Stats) Set(name string, v float64) { s.counters[name] = v }
+
+// Reset zeroes every counter (components keep their registry pointer,
+// so measurement can start after a warm-up phase).
+func (s *Stats) Reset() {
+	for k := range s.counters {
+		delete(s.counters, k)
+	}
+}
+
+// Get returns counter name (zero if absent).
+func (s *Stats) Get(name string) float64 { return s.counters[name] }
+
+// Names returns all counter names in sorted order.
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the registry one counter per line, sorted by name.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%-40s %v\n", n, s.counters[n])
+	}
+	return b.String()
+}
+
+// Geomean returns the geometric mean of xs; it returns 0 for an empty
+// slice and ignores non-positive entries (which have no geometric
+// mean).
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

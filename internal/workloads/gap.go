@@ -1,0 +1,171 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"dx100/internal/dx100"
+	"dx100/internal/loopir"
+	"dx100/internal/memspace"
+	"dx100/internal/prefetch"
+)
+
+func init() {
+	register("BFS", buildBFS)
+	register("PR", buildPR)
+	register("BC", buildBC)
+}
+
+// buildBFS is bottom-up Breadth-First Search over a uniform graph
+// (§5): the Table 1 pattern ST A[B[j]] if (D[E[j]] < F), with an
+// indirect range loop j = H[K[i]] to H[K[i]+1] over the frontier K.
+func buildBFS(scale int) *Instance {
+	rng := rand.New(rand.NewSource(201))
+	nodes := 32768 * scale
+	frontier := nodes / 8
+	// Node records are padded (4 slots per node), so the randomly
+	// indexed depth/parent arrays exceed the LLC at benchmark scale.
+	target := 4 * nodes
+	offsets, _ := csrUniform(rng, nodes, 15)
+	nEdges := int(offsets[nodes])
+	k := &loopir.Kernel{
+		Name: "BFS",
+		Arrays: map[string]loopir.ArrayInfo{
+			"H": {DType: dx100.U64, Len: nodes + 1},
+			"K": {DType: dx100.U64, Len: frontier},
+			"E": {DType: dx100.U64, Len: nEdges},
+			"B": {DType: dx100.U64, Len: nEdges},
+			"D": {DType: dx100.U64, Len: target},
+			"A": {DType: dx100.U64, Len: target},
+		},
+		Params: map[string]uint64{"F": 4},
+		Var:    "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(frontier)},
+		Body: []loopir.Stmt{
+			loopir.Inner{
+				Var: "j",
+				Lo:  loopir.Load{Array: "H", Idx: loopir.Load{Array: "K", Idx: loopir.Var{Name: "i"}}},
+				Hi: loopir.Load{Array: "H", Idx: loopir.Bin{Op: dx100.OpAdd,
+					L: loopir.Load{Array: "K", Idx: loopir.Var{Name: "i"}}, R: loopir.Imm{Val: 1}}},
+				Body: []loopir.Stmt{
+					loopir.If{
+						Cond: loopir.Bin{Op: dx100.OpLT,
+							L: loopir.Load{Array: "D", Idx: loopir.Load{Array: "E", Idx: loopir.Var{Name: "j"}}},
+							R: loopir.Param{Name: "F"}},
+						Body: []loopir.Stmt{
+							loopir.Store{Array: "A", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "j"}},
+								Val: loopir.Imm{Val: 1}},
+						},
+					},
+				},
+			},
+		},
+	}
+	sp := memspace.New()
+	inst := newInstance("BFS", "ST A[B[j]] if (D[E[j]] < F), j = H[K[i]] to H[K[i]+1]", sp, []*loopir.Kernel{k})
+	inst.setU64("H", offsets)
+	inst.setU64("E", uniformIndices(rng, nEdges, target))
+	inst.setU64("B", uniformIndices(rng, nEdges, target))
+	inst.setU64("K", uniformIndices(rng, frontier, nodes))
+	inst.setU64("D", uniformIndices(rng, target, 8)) // depths 0..7, F=4 -> ~50% taken
+	inst.MaxRange[0] = maxRangeLen(offsets)
+	inst.DMP = func() []prefetch.Pattern {
+		return []prefetch.Pattern{inst.pattern("E", "D"), inst.pattern("B", "A")}
+	}
+	return inst
+}
+
+// buildPR is PageRank (§5): the Table 1 pattern RMW A[B[j]] with a
+// direct range loop j = H[i] to H[i+1]; each node pushes its
+// contribution C[i] to its neighbours' sums.
+func buildPR(scale int) *Instance {
+	rng := rand.New(rand.NewSource(202))
+	nodes := 8192 * scale
+	target := 4 * nodes
+	offsets, _ := csrUniform(rng, nodes, 8)
+	nEdges := int(offsets[nodes])
+	k := &loopir.Kernel{
+		Name: "PR",
+		Arrays: map[string]loopir.ArrayInfo{
+			"H": {DType: dx100.U64, Len: nodes + 1},
+			"B": {DType: dx100.U64, Len: nEdges},
+			"C": {DType: dx100.F64, Len: nodes},
+			"A": {DType: dx100.F64, Len: target},
+		},
+		Var: "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(nodes)},
+		Body: []loopir.Stmt{
+			loopir.Inner{
+				Var: "j",
+				Lo:  loopir.Load{Array: "H", Idx: loopir.Var{Name: "i"}},
+				Hi:  loopir.Load{Array: "H", Idx: loopir.Bin{Op: dx100.OpAdd, L: loopir.Var{Name: "i"}, R: loopir.Imm{Val: 1}}},
+				Body: []loopir.Stmt{
+					loopir.Update{Array: "A", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "j"}},
+						Op: dx100.OpAdd, Val: loopir.Load{Array: "C", Idx: loopir.Var{Name: "i"}}},
+				},
+			},
+		},
+	}
+	sp := memspace.New()
+	inst := newInstance("PR", "RMW A[B[j]], j = H[i] to H[i+1]", sp, []*loopir.Kernel{k})
+	inst.setU64("H", offsets)
+	inst.setU64("B", uniformIndices(rng, nEdges, target))
+	inst.setU64("C", f64Bits(smallInts(rng, nodes, 64)))
+	inst.MaxRange[0] = maxRangeLen(offsets)
+	inst.AtomicRMW = true
+	inst.DMP = func() []prefetch.Pattern { return []prefetch.Pattern{inst.pattern("B", "A")} }
+	return inst
+}
+
+// buildBC is Betweenness Centrality (§5): the Table 1 pattern
+// RMW A[B[j]] if (D[E[j]] == F) over an indirect range loop.
+func buildBC(scale int) *Instance {
+	rng := rand.New(rand.NewSource(203))
+	nodes := 32768 * scale
+	frontier := nodes / 8
+	target := 4 * nodes
+	offsets, _ := csrUniform(rng, nodes, 15)
+	nEdges := int(offsets[nodes])
+	k := &loopir.Kernel{
+		Name: "BC",
+		Arrays: map[string]loopir.ArrayInfo{
+			"H": {DType: dx100.U64, Len: nodes + 1},
+			"K": {DType: dx100.U64, Len: frontier},
+			"E": {DType: dx100.U64, Len: nEdges},
+			"B": {DType: dx100.U64, Len: nEdges},
+			"D": {DType: dx100.U64, Len: target},
+			"A": {DType: dx100.U64, Len: target},
+		},
+		Params: map[string]uint64{"F": 3},
+		Var:    "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(frontier)},
+		Body: []loopir.Stmt{
+			loopir.Inner{
+				Var: "j",
+				Lo:  loopir.Load{Array: "H", Idx: loopir.Load{Array: "K", Idx: loopir.Var{Name: "i"}}},
+				Hi: loopir.Load{Array: "H", Idx: loopir.Bin{Op: dx100.OpAdd,
+					L: loopir.Load{Array: "K", Idx: loopir.Var{Name: "i"}}, R: loopir.Imm{Val: 1}}},
+				Body: []loopir.Stmt{
+					loopir.If{
+						Cond: loopir.Bin{Op: dx100.OpEQ,
+							L: loopir.Load{Array: "D", Idx: loopir.Load{Array: "E", Idx: loopir.Var{Name: "j"}}},
+							R: loopir.Param{Name: "F"}},
+						Body: []loopir.Stmt{
+							loopir.Update{Array: "A", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "j"}},
+								Op: dx100.OpAdd, Val: loopir.Imm{Val: 1}},
+						},
+					},
+				},
+			},
+		},
+	}
+	sp := memspace.New()
+	inst := newInstance("BC", "RMW A[B[j]] if (D[E[j]] == F), j = H[K[i]] to H[K[i]+1]", sp, []*loopir.Kernel{k})
+	inst.setU64("H", offsets)
+	inst.setU64("E", uniformIndices(rng, nEdges, target))
+	inst.setU64("B", uniformIndices(rng, nEdges, target))
+	inst.setU64("K", uniformIndices(rng, frontier, nodes))
+	inst.setU64("D", uniformIndices(rng, target, 8))
+	inst.MaxRange[0] = maxRangeLen(offsets)
+	inst.AtomicRMW = true
+	inst.DMP = func() []prefetch.Pattern {
+		return []prefetch.Pattern{inst.pattern("E", "D"), inst.pattern("B", "A")}
+	}
+	return inst
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"dx100/internal/dx100"
+	"dx100/internal/loopir"
+	"dx100/internal/memspace"
+	"dx100/internal/prefetch"
+)
+
+func init() {
+	register("PRH", buildPRH)
+	register("PRO", buildPRO)
+}
+
+// buildPRH is the histogram-based Parallel Radix Join partitioning
+// (§5, Kim et al.): the Table 1 pattern ST A[B[f(C[i])]] with the
+// address calculation f(C[i]) = (C[i] & F) >> G. Two kernels: the
+// radix histogram, then the scatter through the bucket offset table.
+func buildPRH(scale int) *Instance {
+	rng := rand.New(rand.NewSource(301))
+	n := 32768 * scale
+	space := 4 * n // the radix/bucket space exceeds the LLC at benchmark scale
+	mask := uint64(space - 1)
+	hist := &loopir.Kernel{
+		Name: "PRH-hist",
+		Arrays: map[string]loopir.ArrayInfo{
+			"Hist": {DType: dx100.U64, Len: space},
+			"C":    {DType: dx100.U64, Len: n},
+		},
+		Params: map[string]uint64{"F": mask, "G": 0},
+		Var:    "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(n)},
+		Body: []loopir.Stmt{
+			loopir.Update{Array: "Hist",
+				Idx: loopir.Bin{Op: dx100.OpShr,
+					L: loopir.Bin{Op: dx100.OpAnd, L: loopir.Load{Array: "C", Idx: loopir.Var{Name: "i"}}, R: loopir.Param{Name: "F"}},
+					R: loopir.Param{Name: "G"}},
+				Op: dx100.OpAdd, Val: loopir.Imm{Val: 1}},
+		},
+	}
+	scatter := &loopir.Kernel{
+		Name: "PRH-scatter",
+		Arrays: map[string]loopir.ArrayInfo{
+			"A": {DType: dx100.U64, Len: space},
+			"B": {DType: dx100.U64, Len: space},
+			"C": {DType: dx100.U64, Len: n},
+		},
+		Params: map[string]uint64{"F": mask, "G": 0},
+		Var:    "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(n)},
+		Body: []loopir.Stmt{
+			loopir.Store{Array: "A",
+				Idx: loopir.Load{Array: "B",
+					Idx: loopir.Bin{Op: dx100.OpShr,
+						L: loopir.Bin{Op: dx100.OpAnd, L: loopir.Load{Array: "C", Idx: loopir.Var{Name: "i"}}, R: loopir.Param{Name: "F"}},
+						R: loopir.Param{Name: "G"}}},
+				Val: loopir.Load{Array: "C", Idx: loopir.Var{Name: "i"}}},
+		},
+	}
+	sp := memspace.New()
+	inst := newInstance("PRH", "ST A[B[f(C[i])]], f(C[i]) = (C[i] & F) >> G", sp, []*loopir.Kernel{hist, scatter})
+	// C holds distinct keys so the radix of each tuple is unique,
+	// making the scatter deterministic under reordering.
+	inst.setU64("C", permutation(rng, space)[:n])
+	inst.setU64("B", permutation(rng, space))
+	inst.AtomicRMW = true
+	inst.DMP = func() []prefetch.Pattern { return nil } // f(C[i]) defeats index matching (§6.3)
+	return inst
+}
+
+// buildPRO is the bucket-chaining Parallel Radix Join (§5, Manegold et
+// al.): bulk linked-list traversal via array-based indirection
+// nodes[next_idx[i]] (§4.1 Limitations), modeled as three ping-pong
+// chase rounds T1[i] = Next[T0[i]].
+func buildPRO(scale int) *Instance {
+	rng := rand.New(rand.NewSource(302))
+	n := 32768 * scale
+	// Tuples occupy 64-byte records (8 slots apart), as the real
+	// bucket-chaining join's node array does, so the chased table
+	// exceeds the LLC at benchmark scale.
+	const slot = 8
+	rounds := 3
+	arrays := map[string]loopir.ArrayInfo{
+		"Next": {DType: dx100.U64, Len: slot * n},
+	}
+	for r := 0; r <= rounds; r++ {
+		arrays[tName(r)] = loopir.ArrayInfo{DType: dx100.U64, Len: n}
+	}
+	var ks []*loopir.Kernel
+	for r := 0; r < rounds; r++ {
+		ks = append(ks, &loopir.Kernel{
+			Name:   "PRO-round",
+			Arrays: arrays,
+			Var:    "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(n)},
+			Body: []loopir.Stmt{
+				loopir.Store{Array: tName(r + 1), Idx: loopir.Var{Name: "i"},
+					Val: loopir.Load{Array: "Next", Idx: loopir.Load{Array: tName(r), Idx: loopir.Var{Name: "i"}}}},
+			},
+		})
+	}
+	sp := memspace.New()
+	inst := newInstance("PRO", "ST A[B[f(C[i])]] (bucket chaining: nodes[next_idx[i]])", sp, ks)
+	// Active slots sit 8 elements apart; each points at another active
+	// slot, so every chase round stays within the padded node table.
+	next := make([]uint64, slot*n)
+	for i, v := range permutation(rng, n) {
+		next[i*slot] = v * slot
+	}
+	start := make([]uint64, n)
+	for i, v := range permutation(rng, n) {
+		start[i] = v * slot
+	}
+	inst.setU64("Next", next)
+	inst.setU64(tName(0), start)
+	inst.DMP = func() []prefetch.Pattern {
+		return []prefetch.Pattern{inst.pattern(tName(0), "Next")}
+	}
+	return inst
+}
+
+func tName(r int) string {
+	return "T" + string(rune('0'+r))
+}

@@ -1,0 +1,348 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"dx100/internal/dram"
+	"dx100/internal/dx100"
+	"dx100/internal/loopir"
+	"dx100/internal/memspace"
+	"dx100/internal/prefetch"
+)
+
+// This file builds the five microbenchmarks of §6.1 (Figure 8):
+// Gather-SPD, Gather-Full, RMW-Atomic, RMW-NoAtom and Scatter for the
+// All-Hit scenario, plus the All-Miss Gather-Full with constructed
+// row-buffer-hit / channel / bank-group index orderings.
+
+// MicroGather builds p_A[i] = A[B[i]] with streaming indices
+// (B[i] = i), the All-Hit setup. consume=true is Gather-SPD (the core
+// reads the packed array from the scratchpad); consume=false is
+// Gather-Full (the store is offloaded too).
+func MicroGather(consume bool, scale int) *Instance {
+	n := 65536 * scale
+	k := &loopir.Kernel{
+		Name: "gather",
+		Arrays: map[string]loopir.ArrayInfo{
+			"A": {DType: dx100.U32, Len: n},
+			"B": {DType: dx100.U32, Len: n},
+			"C": {DType: dx100.U32, Len: n},
+		},
+		Var: "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(n)},
+		Body: []loopir.Stmt{
+			loopir.Store{Array: "C", Idx: loopir.Var{Name: "i"},
+				Val: loopir.Load{Array: "A", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "i"}}}},
+		},
+	}
+	sp := memspace.New()
+	name := "Gather-Full"
+	if consume {
+		name = "Gather-SPD"
+	}
+	inst := newInstance(name, "LD A[B[i]], B[i]=i (All-Hit)", sp, []*loopir.Kernel{k})
+	iota := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range iota {
+		iota[i] = uint64(i)
+		vals[i] = uint64(i * 3)
+	}
+	inst.setU64("B", iota)
+	inst.setU64("A", vals)
+	inst.Consume = consume
+	inst.DMP = func() []prefetch.Pattern { return []prefetch.Pattern{inst.pattern("B", "A")} }
+	return inst
+}
+
+// MicroRMW builds A[B[i]] += C[i] with streaming indices. atomic
+// selects the RMW-Atomic baseline; the DX100 run is identical either
+// way because the accelerator needs no fine-grained atomics (§6.1).
+func MicroRMW(atomic bool, scale int) *Instance {
+	rng := rand.New(rand.NewSource(601))
+	n := 65536 * scale
+	k := &loopir.Kernel{
+		Name: "rmw",
+		Arrays: map[string]loopir.ArrayInfo{
+			"A": {DType: dx100.U64, Len: n},
+			"B": {DType: dx100.U32, Len: n},
+			"C": {DType: dx100.U64, Len: n},
+		},
+		Var: "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(n)},
+		Body: []loopir.Stmt{
+			loopir.Update{Array: "A", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "i"}},
+				Op: dx100.OpAdd, Val: loopir.Load{Array: "C", Idx: loopir.Var{Name: "i"}}},
+		},
+	}
+	sp := memspace.New()
+	name := "RMW-NoAtom"
+	if atomic {
+		name = "RMW-Atomic"
+	}
+	inst := newInstance(name, "RMW A[B[i]], B[i]=i (All-Hit)", sp, []*loopir.Kernel{k})
+	iota := make([]uint64, n)
+	for i := range iota {
+		iota[i] = uint64(i)
+	}
+	inst.setU64("B", iota)
+	inst.setU64("C", smallInts(rng, n, 100))
+	inst.AtomicRMW = atomic
+	inst.DMP = func() []prefetch.Pattern { return []prefetch.Pattern{inst.pattern("B", "A")} }
+	return inst
+}
+
+// MicroScatter builds A[B[i]] = C[i] over a permutation — the
+// single-core scatter of §6.1 (WAW hazards forbid parallelizing the
+// baseline).
+func MicroScatter(scale int) *Instance {
+	rng := rand.New(rand.NewSource(602))
+	n := 65536 * scale
+	k := &loopir.Kernel{
+		Name: "scatter",
+		Arrays: map[string]loopir.ArrayInfo{
+			"A": {DType: dx100.U32, Len: n},
+			"B": {DType: dx100.U32, Len: n},
+			"C": {DType: dx100.U32, Len: n},
+		},
+		Var: "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(n)},
+		Body: []loopir.Stmt{
+			loopir.Store{Array: "A", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "i"}},
+				Val: loopir.Load{Array: "C", Idx: loopir.Var{Name: "i"}}},
+		},
+	}
+	sp := memspace.New()
+	inst := newInstance("Scatter", "ST A[B[i]] (All-Hit, 1 core)", sp, []*loopir.Kernel{k})
+	inst.setU64("B", permutation(rng, n))
+	inst.setU64("C", smallInts(rng, n, 1<<20))
+	inst.DMP = func() []prefetch.Pattern { return []prefetch.Pattern{inst.pattern("B", "A")} }
+	return inst
+}
+
+// AllMissConfig describes one bar of Figure 8 (b)/(c): the target
+// row-buffer hit rate of consecutive same-bank accesses and whether
+// the ordering interleaves channels and bank groups.
+type AllMissConfig struct {
+	RBH float64
+	CHI bool
+	BGI bool
+}
+
+// Label renders the configuration like the figure's x axis.
+func (c AllMissConfig) Label() string {
+	s := ""
+	switch {
+	case c.RBH >= 1:
+		s = "RBH100"
+	case c.RBH >= 0.75:
+		s = "RBH75"
+	case c.RBH >= 0.5:
+		s = "RBH50"
+	default:
+		s = "RBH0"
+	}
+	if c.CHI {
+		s += "+CHI"
+	}
+	if c.BGI {
+		s += "+BGI"
+	}
+	return s
+}
+
+// AllMissSeries returns Figure 8's six configurations, worst to best:
+// rising row-buffer hit rate first, then channel interleaving, then
+// bank-group interleaving.
+func AllMissSeries() []AllMissConfig {
+	return []AllMissConfig{
+		{RBH: 0, CHI: false, BGI: false},
+		{RBH: 0.5, CHI: false, BGI: false},
+		{RBH: 0.75, CHI: false, BGI: false},
+		{RBH: 1, CHI: false, BGI: false},
+		{RBH: 1, CHI: true, BGI: false},
+		{RBH: 1, CHI: true, BGI: true},
+	}
+}
+
+// MicroAllMiss builds the All-Miss Gather-Full (§6.1, scenario 2): 64K
+// unique indices spreading A[B[i]] words across 16 rows of every bank,
+// bank group and channel, ordered to produce the requested locality.
+// The construction assumes the DDR4_3200 address mapping of Table 3.
+func MicroAllMiss(cfg AllMissConfig) *Instance {
+	p := dram.DDR4_3200()
+	mapper := dram.NewMapper(p)
+	sp := memspace.New()
+	// Align A's physical base to a 16-row boundary: frames are handed
+	// out sequentially, so pad until the next allocation starts at a
+	// 4 MB physical boundary.
+	for {
+		probe := sp.Alloc("pad-probe", 1)
+		if (uint64(sp.Translate(probe.Base))+memspace.HugePageSize)%(4<<20) == 0 {
+			break
+		}
+	}
+	// 16 rows x 32 banks x 8 KB = 4 MB of u32 elements.
+	aLen := 4 << 20 / 4
+	nIdx := 16 * p.TotalBanks() * p.LinesPerRow() // 64K lines
+	k := &loopir.Kernel{
+		Name: "allmiss",
+		Arrays: map[string]loopir.ArrayInfo{
+			"A": {DType: dx100.U32, Len: aLen},
+			"B": {DType: dx100.U32, Len: nIdx},
+			"C": {DType: dx100.U32, Len: nIdx},
+		},
+		Var: "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(nIdx)},
+		Body: []loopir.Stmt{
+			loopir.Store{Array: "C", Idx: loopir.Var{Name: "i"},
+				Val: loopir.Load{Array: "A", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "i"}}}},
+		},
+	}
+	inst := newInstance("AllMiss-"+cfg.Label(), "LD A[B[i]] (All-Miss)", sp, []*loopir.Kernel{k})
+	paBase := sp.Translate(inst.Binder.Base["A"])
+	inst.setU64("B", allMissIndices(p, mapper, paBase, cfg))
+	inst.DMP = func() []prefetch.Pattern { return []prefetch.Pattern{inst.pattern("B", "A")} }
+	return inst
+}
+
+// allMissIndices enumerates one word per cache line of the 16-row
+// window, ordered per the configuration.
+func allMissIndices(p dram.Params, mapper *dram.Mapper, paBase memspace.PAddr, cfg AllMissConfig) []uint64 {
+	rows := 16
+	rowBase := mapper.Map(paBase).Row
+	// Per-bank sequences of (row, col) with the requested run length.
+	runLen := p.LinesPerRow()
+	if cfg.RBH < 1 {
+		runLen = int(1.0 / (1.0 - cfg.RBH))
+		if runLen < 1 {
+			runLen = 1
+		}
+	}
+	type rc struct{ row, col int }
+	rng := rand.New(rand.NewSource(int64(703 + runLen)))
+	perBank := make([][]rc, p.TotalBanks())
+	for b := range perBank {
+		var seq []rc
+		colPos := make([]int, rows)
+		// Columns within a row are visited in random order: row-buffer
+		// hits do not imply sequential addresses, so the baseline's
+		// stride prefetchers get no artificial help.
+		colOrder := make([][]int, rows)
+		for r := range colOrder {
+			colOrder[r] = rng.Perm(p.LinesPerRow())
+		}
+		for remaining := rows * p.LinesPerRow(); remaining > 0; {
+			for r := 0; r < rows && remaining > 0; r++ {
+				for k := 0; k < runLen && colPos[r] < p.LinesPerRow(); k++ {
+					seq = append(seq, rc{row: rowBase + r, col: colOrder[r][colPos[r]]})
+					colPos[r]++
+					remaining--
+				}
+			}
+		}
+		perBank[b] = seq
+	}
+	// Bank visit order. Dimensions whose interleaving is "off" still
+	// appear within any DX100 tile, but only in blocks far larger than
+	// the DRAM controller's 32-entry visibility window: the controller
+	// cannot recover the interleaving, while DX100's 16K-index window
+	// can (the paper's point in §6.1, scenario 2).
+	const (
+		bankBlock  = 32  // per-bank run when bank rotation is blocky
+		groupBlock = 256 // per-group run when a dimension is disabled
+	)
+	bankID := func(ch, bg, ba int) int { return ch*p.BanksPerChannel() + bg*p.Banks + ba }
+	type group struct {
+		banks []int
+		block int // consecutive accesses per bank before rotating
+	}
+	var groups []group
+	switch {
+	case cfg.CHI && cfg.BGI:
+		// Fully interleaved: one group, one access per bank.
+		var g []int
+		for ba := 0; ba < p.Banks; ba++ {
+			for bg := 0; bg < p.BankGroups; bg++ {
+				for ch := 0; ch < p.Channels; ch++ {
+					g = append(g, bankID(ch, bg, ba))
+				}
+			}
+		}
+		groups = []group{{banks: g, block: 1}}
+	case cfg.CHI && !cfg.BGI:
+		// Channels alternate per access, bank groups only per block.
+		for bg := 0; bg < p.BankGroups; bg++ {
+			var g []int
+			for ba := 0; ba < p.Banks; ba++ {
+				for ch := 0; ch < p.Channels; ch++ {
+					g = append(g, bankID(ch, bg, ba))
+				}
+			}
+			groups = append(groups, group{banks: g, block: 1})
+		}
+	default:
+		// No channel interleaving: long same-channel runs; banks
+		// rotate only in blocks, starving bank-level parallelism
+		// inside the controller window.
+		for ch := 0; ch < p.Channels; ch++ {
+			for bg := 0; bg < p.BankGroups; bg++ {
+				var g []int
+				for ba := 0; ba < p.Banks; ba++ {
+					g = append(g, bankID(ch, bg, ba))
+				}
+				groups = append(groups, group{banks: g, block: bankBlock})
+			}
+		}
+	}
+	// Build each group's access sequence (banks rotating in block-size
+	// runs), then merge groups in groupBlock-size runs.
+	emit := func(out []uint64, b int, e rc) []uint64 {
+		bpc := p.BanksPerChannel()
+		ch := b / bpc
+		sl := b % bpc
+		co := dram.Coord{
+			Channel:   ch,
+			Bank:      sl % p.Banks,
+			BankGroup: (sl / p.Banks) % p.BankGroups,
+			Rank:      sl / (p.Banks * p.BankGroups),
+			Row:       e.row, Column: e.col,
+		}
+		pa := mapper.Unmap(co)
+		return append(out, uint64(pa-paBase)/4)
+	}
+	pos := make([]int, p.TotalBanks())
+	groupSeq := make([][]uint64, len(groups))
+	for gi, g := range groups {
+		var seq []uint64
+		for {
+			emitted := false
+			for _, b := range g.banks {
+				for k := 0; k < g.block && pos[b] < len(perBank[b]); k++ {
+					seq = emit(seq, b, perBank[b][pos[b]])
+					pos[b]++
+					emitted = true
+				}
+			}
+			if !emitted {
+				break
+			}
+		}
+		groupSeq[gi] = seq
+	}
+	var out []uint64
+	gpos := make([]int, len(groups))
+	for {
+		emitted := false
+		for gi := range groups {
+			n := groupBlock
+			if len(groups) == 1 {
+				n = len(groupSeq[gi])
+			}
+			for k := 0; k < n && gpos[gi] < len(groupSeq[gi]); k++ {
+				out = append(out, groupSeq[gi][gpos[gi]])
+				gpos[gi]++
+				emitted = true
+			}
+		}
+		if !emitted {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"dx100/internal/dx100"
+	"dx100/internal/loopir"
+	"dx100/internal/memspace"
+	"dx100/internal/prefetch"
+)
+
+func init() {
+	register("IS", buildIS)
+	register("CG", buildCG)
+}
+
+// buildIS is NAS Integer Sort (bucket-less key counting, §5): the
+// Table 1 pattern RMW A[B[i]] over a large key array.
+func buildIS(scale int) *Instance {
+	rng := rand.New(rand.NewSource(101))
+	nKeys := 32768 * scale
+	// The histogram spans far more buckets than fit any cache, as the
+	// paper's 2^25-key run does; footprint scales independently of the
+	// iteration count to keep simulations affordable.
+	histLen := 131072 * scale
+	k := &loopir.Kernel{
+		Name: "IS",
+		Arrays: map[string]loopir.ArrayInfo{
+			"A": {DType: dx100.U64, Len: histLen},
+			"B": {DType: dx100.U32, Len: nKeys},
+		},
+		Var: "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(nKeys)},
+		Body: []loopir.Stmt{
+			loopir.Update{Array: "A", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "i"}},
+				Op: dx100.OpAdd, Val: loopir.Imm{Val: 1}},
+		},
+	}
+	sp := memspace.New()
+	inst := newInstance("IS", "RMW A[B[i]], i = F to G", sp, []*loopir.Kernel{k})
+	inst.setU64("B", uniformIndices(rng, nKeys, histLen))
+	inst.AtomicRMW = true
+	inst.DMP = func() []prefetch.Pattern { return []prefetch.Pattern{inst.pattern("B", "A")} }
+	return inst
+}
+
+// buildCG is the NAS Conjugate Gradient SpMV core (§5): the Table 1
+// pattern LD A[B[j]], j = H[i] to H[i+1], with the multiply-accumulate
+// kept in the kernel (Y[i] += V[j] * X[B[j]]).
+func buildCG(scale int) *Instance {
+	rng := rand.New(rand.NewSource(102))
+	nRows := 8192 * scale
+	nCols := 16 * nRows // wide matrix: the gathered vector X dwarfs the LLC
+	offsets, _ := csrUniform(rng, nRows, 6)
+	nnz := int(offsets[nRows])
+	cols := uniformIndices(rng, nnz, nCols)
+	k := &loopir.Kernel{
+		Name: "CG",
+		Arrays: map[string]loopir.ArrayInfo{
+			"H": {DType: dx100.U64, Len: nRows + 1},
+			"B": {DType: dx100.U64, Len: nnz},
+			"V": {DType: dx100.F64, Len: nnz},
+			"X": {DType: dx100.F64, Len: nCols},
+			"Y": {DType: dx100.F64, Len: nRows},
+		},
+		Var: "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(nRows)},
+		Body: []loopir.Stmt{
+			loopir.Inner{
+				Var: "j",
+				Lo:  loopir.Load{Array: "H", Idx: loopir.Var{Name: "i"}},
+				Hi:  loopir.Load{Array: "H", Idx: loopir.Bin{Op: dx100.OpAdd, L: loopir.Var{Name: "i"}, R: loopir.Imm{Val: 1}}},
+				Body: []loopir.Stmt{
+					loopir.Update{Array: "Y", Idx: loopir.Var{Name: "i"}, Op: dx100.OpAdd,
+						Val: loopir.Bin{Op: dx100.OpMul,
+							L: loopir.Load{Array: "V", Idx: loopir.Var{Name: "j"}},
+							R: loopir.Load{Array: "X", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "j"}}}}},
+				},
+			},
+		},
+	}
+	sp := memspace.New()
+	inst := newInstance("CG", "LD A[B[j]], j = H[i] to H[i+1]", sp, []*loopir.Kernel{k})
+	inst.setU64("H", offsets)
+	inst.setU64("B", cols)
+	inst.setU64("V", f64Bits(smallInts(rng, nnz, 8)))
+	inst.setU64("X", f64Bits(smallInts(rng, nCols, 16)))
+	inst.MaxRange[0] = maxRangeLen(offsets)
+	inst.Consume = true
+	inst.DMP = func() []prefetch.Pattern { return []prefetch.Pattern{inst.pattern("B", "X")} }
+	return inst
+}

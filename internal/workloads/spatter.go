@@ -1,0 +1,45 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"dx100/internal/dx100"
+	"dx100/internal/loopir"
+	"dx100/internal/memspace"
+	"dx100/internal/prefetch"
+)
+
+func init() {
+	register("XRAGE", buildXRAGE)
+}
+
+// buildXRAGE is the Spatter benchmark with the xRAGE multi-physics
+// access pattern (§5): the Table 1 pattern ST A[B[i]]. The synthetic
+// index trace reproduces the AMR gather/scatter structure the Spatter
+// methodology captures: short strided runs of mixed length separated
+// by long jumps.
+func buildXRAGE(scale int) *Instance {
+	rng := rand.New(rand.NewSource(501))
+	n := 65536 * scale
+	target := 4 * n // AMR cell data is far wider than one sweep's indices
+	k := &loopir.Kernel{
+		Name: "XRAGE",
+		Arrays: map[string]loopir.ArrayInfo{
+			"A": {DType: dx100.F64, Len: target},
+			"B": {DType: dx100.U64, Len: n},
+			"V": {DType: dx100.F64, Len: n},
+		},
+		Var: "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(n)},
+		Body: []loopir.Stmt{
+			loopir.Update{Array: "A", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "i"}},
+				Op: dx100.OpAdd, Val: loopir.Load{Array: "V", Idx: loopir.Var{Name: "i"}}},
+		},
+	}
+	sp := memspace.New()
+	inst := newInstance("XRAGE", "ST A[B[i]], i = F to G (xRAGE trace)", sp, []*loopir.Kernel{k})
+	inst.setU64("B", xrageIndices(rng, n, target))
+	inst.setU64("V", f64Bits(smallInts(rng, n, 16)))
+	inst.AtomicRMW = true
+	inst.DMP = func() []prefetch.Pattern { return []prefetch.Pattern{inst.pattern("B", "A")} }
+	return inst
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"dx100/internal/dx100"
+	"dx100/internal/loopir"
+	"dx100/internal/memspace"
+	"dx100/internal/prefetch"
+)
+
+func init() {
+	register("GZZ", func(s int) *Instance { return buildUMEFlat(s, "GZZ", 401) })
+	register("GZP", func(s int) *Instance { return buildUMEFlat(s, "GZP", 402) })
+	register("GZZI", func(s int) *Instance { return buildUMERange(s, "GZZI", 403) })
+	register("GZPI", func(s int) *Instance { return buildUMERange(s, "GZPI", 404) })
+}
+
+// buildUMEFlat builds the GZZ/GZP gradient kernels of the UME
+// unstructured-mesh proxy (§5): the Table 1 pattern
+// RMW A[B[i]] if (D[i] >= F). GZZ runs over zones, GZP over points;
+// here they differ in the index distribution's locality (§6.2: mean
+// index distance ≈ n/24, the scaled equivalent of 85K over 2M points).
+func buildUMEFlat(scale int, name string, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	n := 32768 * scale
+	const spread = 4 // points per zone record: the gradient array is 4x wider
+	target := spread * n
+	meanDist := target / 24
+	if name == "GZP" {
+		meanDist = target / 12 // points scatter further than zones
+	}
+	k := &loopir.Kernel{
+		Name: name,
+		Arrays: map[string]loopir.ArrayInfo{
+			"A": {DType: dx100.F64, Len: target},
+			"B": {DType: dx100.U64, Len: n},
+			"D": {DType: dx100.U64, Len: n},
+			"V": {DType: dx100.F64, Len: n},
+		},
+		Params: map[string]uint64{"F": 2},
+		Var:    "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(n)},
+		Body: []loopir.Stmt{
+			loopir.If{
+				Cond: loopir.Bin{Op: dx100.OpGE, L: loopir.Load{Array: "D", Idx: loopir.Var{Name: "i"}}, R: loopir.Param{Name: "F"}},
+				Body: []loopir.Stmt{
+					loopir.Update{Array: "A", Idx: loopir.Load{Array: "B", Idx: loopir.Var{Name: "i"}},
+						Op: dx100.OpAdd, Val: loopir.Load{Array: "V", Idx: loopir.Var{Name: "i"}}},
+				},
+			},
+		},
+	}
+	sp := memspace.New()
+	inst := newInstance(name, "RMW A[B[i]] if (D[i] >= F), i = F to G", sp, []*loopir.Kernel{k})
+	inst.setU64("B", umeIndices(rng, n, meanDist, target, spread))
+	inst.setU64("D", uniformIndices(rng, n, 8)) // F=2 -> ~75% taken
+	inst.setU64("V", f64Bits(smallInts(rng, n, 32)))
+	inst.AtomicRMW = true
+	inst.DMP = func() []prefetch.Pattern { return []prefetch.Pattern{inst.pattern("B", "A")} }
+	return inst
+}
+
+// buildUMERange builds the GZZI/GZPI kernels (§5): the Table 1
+// pattern LD A[B[C[j]]] if (D[j] >= F) over an indirect range loop
+// j = H[K[i]] to H[K[i]+1] — two levels of indirection under a
+// condition, with the gathered gradients written to Out[j].
+func buildUMERange(scale int, name string, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	zones := 8192 * scale
+	outer := zones / 4
+	offsets, _ := csrUniform(rng, zones, 6)
+	n := int(offsets[zones]) // corner count
+	const spread = 4
+	target := spread * n
+	meanDist := target / 24
+	k := &loopir.Kernel{
+		Name: name,
+		Arrays: map[string]loopir.ArrayInfo{
+			"H":   {DType: dx100.U64, Len: zones + 1},
+			"K":   {DType: dx100.U64, Len: outer},
+			"C":   {DType: dx100.U64, Len: n},
+			"B":   {DType: dx100.U64, Len: target},
+			"A":   {DType: dx100.F64, Len: target},
+			"D":   {DType: dx100.U64, Len: n},
+			"Out": {DType: dx100.F64, Len: n},
+		},
+		Params: map[string]uint64{"F": 2},
+		Var:    "i", Lo: loopir.Imm{Val: 0}, Hi: loopir.Imm{Val: int64(outer)},
+		Body: []loopir.Stmt{
+			loopir.Inner{
+				Var: "j",
+				Lo:  loopir.Load{Array: "H", Idx: loopir.Load{Array: "K", Idx: loopir.Var{Name: "i"}}},
+				Hi: loopir.Load{Array: "H", Idx: loopir.Bin{Op: dx100.OpAdd,
+					L: loopir.Load{Array: "K", Idx: loopir.Var{Name: "i"}}, R: loopir.Imm{Val: 1}}},
+				Body: []loopir.Stmt{
+					loopir.If{
+						Cond: loopir.Bin{Op: dx100.OpGE, L: loopir.Load{Array: "D", Idx: loopir.Var{Name: "j"}}, R: loopir.Param{Name: "F"}},
+						Body: []loopir.Stmt{
+							loopir.Store{Array: "Out", Idx: loopir.Var{Name: "j"},
+								Val: loopir.Load{Array: "A",
+									Idx: loopir.Load{Array: "B",
+										Idx: loopir.Load{Array: "C", Idx: loopir.Var{Name: "j"}}}}},
+						},
+					},
+				},
+			},
+		},
+	}
+	sp := memspace.New()
+	inst := newInstance(name, "LD A[B[C[j]]] if (D[j] >= F), j = H[K[i]] to H[K[i]+1]", sp, []*loopir.Kernel{k})
+	inst.setU64("H", offsets)
+	inst.setU64("K", uniformIndices(rng, outer, zones))
+	inst.setU64("C", umeIndices(rng, n, n/24, n, 1))
+	inst.setU64("B", umeIndices(rng, target, meanDist, target, 1))
+	inst.setU64("A", f64Bits(smallInts(rng, target, 100)))
+	inst.setU64("D", uniformIndices(rng, n, 8))
+	inst.MaxRange[0] = maxRangeLen(offsets)
+	inst.Consume = true
+	inst.DMP = func() []prefetch.Pattern {
+		return []prefetch.Pattern{inst.pattern("C", "B")}
+	}
+	return inst
+}
