@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench examples figures clean
+.PHONY: all build test vet race bench examples figures clean
 
 all: build test
 
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the full tree, vet first. The parallel
+# experiment runner makes this the gate for any scheduling change.
+race: vet
+	$(GO) test -race ./...
 
 # Regenerate every figure/table (tens of minutes; see EXPERIMENTS.md).
 bench:

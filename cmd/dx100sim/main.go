@@ -9,6 +9,7 @@
 //	dx100sim -run IS -mode dx100 -scale 8   # one run with metrics
 //	dx100sim -fig 9 -scale 8                # regenerate a figure
 //	dx100sim -fig all -scale 8              # everything (slow)
+//	dx100sim -fig all -scale 8 -jobs 4      # ... on 4 worker goroutines
 //	dx100sim -table4                        # area/power model
 package main
 
@@ -34,9 +35,11 @@ func main() {
 		scale   = flag.Int("scale", 4, "dataset scale factor (1 = smoke test, 8+ = evaluation)")
 		fig     = flag.String("fig", "", "regenerate a figure: 8a, 8bc, 9, 10, 11, 12, 13, 14, ablation or all")
 		names   = flag.String("workloads", "", "comma-separated workload subset for -fig")
+		jobs    = flag.Int("jobs", 0, "concurrent experiment runs (0 = one per CPU, 1 = serial)")
 		verbose = flag.Bool("v", false, "dump raw statistics after -run")
 	)
 	flag.Parse()
+	exp.SetParallelism(*jobs)
 	switch {
 	case *list:
 		listWorkloads()

@@ -15,6 +15,7 @@ type bank struct {
 // bank-group timing trackers, and the FR-FCFS request buffer.
 type channel struct {
 	p     Params
+	idx   int // channel number within the system
 	banks []bank
 	queue []*Request
 	seq   uint64

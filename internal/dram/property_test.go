@@ -1,0 +1,265 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"dx100/internal/memspace"
+	"dx100/internal/sim"
+)
+
+// Property tests: drive the memory system with randomized request
+// streams and check the JEDEC protocol invariants directly on the
+// command trace, rather than trusting the scheduler's own bookkeeping
+// — tRP and tRCD per bank, tRAS before precharge, tCCD_L within a
+// bank group vs tCCD_S across, at most four ACTs in any tFAW window,
+// and a request buffer that never exceeds its capacity.
+
+type tracedCmd struct {
+	cmd Cmd
+	c   Coord
+	dc  uint64
+}
+
+// driveRandom pushes nReqs random line requests through a fresh
+// System, submitting random-size bursts as buffer space allows, and
+// returns the resulting command trace.
+func driveRandom(t *testing.T, p Params, seed int64, nReqs int) []tracedCmd {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.MaxCycles = 50_000_000
+	stats := sim.NewStats()
+	sys := NewSystem(eng, p, stats, "dram.")
+	var trace []tracedCmd
+	sys.Trace = func(cmd Cmd, c Coord, dc uint64) {
+		trace = append(trace, tracedCmd{cmd, c, dc})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	remaining, inflight := nReqs, 0
+	eng.Register(sim.TickerFunc(func(now sim.Cycle) bool {
+		for burst := rng.Intn(4); burst > 0 && remaining > 0; burst-- {
+			addr := memspace.LineAddr(memspace.PAddr(rng.Int63n(1 << 26)))
+			kind := Read
+			if rng.Intn(3) == 0 {
+				kind = Write
+			}
+			r := &Request{Addr: addr, Kind: kind, OnDone: func(sim.Cycle) { inflight-- }}
+			if !sys.Submit(r) {
+				break
+			}
+			inflight++
+			remaining--
+			if q := sys.QueueLen(addr); q > p.RequestBuffer {
+				t.Fatalf("request buffer holds %d entries, capacity %d", q, p.RequestBuffer)
+			}
+		}
+		return remaining > 0 || inflight > 0
+	}))
+	if _, err := eng.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if remaining != 0 || inflight != 0 {
+		t.Fatalf("stream not drained: %d unsubmitted, %d in flight", remaining, inflight)
+	}
+	return trace
+}
+
+// checkProtocol walks a command trace asserting every timing
+// invariant; it returns the number of column commands seen.
+func checkProtocol(t *testing.T, p Params, trace []tracedCmd) (casCount int) {
+	t.Helper()
+	type bankKey struct{ ch, slice int }
+	type bgKey struct{ ch, rank, bg int }
+	lastACT := map[bankKey]uint64{}
+	lastPRE := map[bankKey]uint64{}
+	lastCASAny := map[int]uint64{}
+	lastCASBG := map[bgKey]uint64{}
+	seenACT := map[bankKey]bool{}
+	seenPRE := map[bankKey]bool{}
+	seenCASAny := map[int]bool{}
+	seenCASBG := map[bgKey]bool{}
+	actTimes := map[int][]uint64{}
+	for i, e := range trace {
+		bk := bankKey{e.c.Channel, e.c.Slice(p)}
+		switch e.cmd {
+		case CmdAct:
+			if seenPRE[bk] && e.dc < lastPRE[bk]+uint64(p.TRP) {
+				t.Errorf("cmd %d: ACT ch%d slice%d at %d violates tRP=%d (PRE at %d)",
+					i, bk.ch, bk.slice, e.dc, p.TRP, lastPRE[bk])
+			}
+			lastACT[bk] = e.dc
+			seenACT[bk] = true
+			actTimes[e.c.Channel] = append(actTimes[e.c.Channel], e.dc)
+		case CmdPre:
+			if !seenACT[bk] {
+				t.Errorf("cmd %d: PRE ch%d slice%d with no prior ACT", i, bk.ch, bk.slice)
+				continue
+			}
+			if e.dc < lastACT[bk]+uint64(p.TRAS) {
+				t.Errorf("cmd %d: PRE ch%d slice%d at %d violates tRAS=%d (ACT at %d)",
+					i, bk.ch, bk.slice, e.dc, p.TRAS, lastACT[bk])
+			}
+			lastPRE[bk] = e.dc
+			seenPRE[bk] = true
+		case CmdRead, CmdWrite:
+			casCount++
+			if !seenACT[bk] {
+				t.Errorf("cmd %d: CAS ch%d slice%d with no prior ACT", i, bk.ch, bk.slice)
+				continue
+			}
+			if e.dc < lastACT[bk]+uint64(p.TRCD) {
+				t.Errorf("cmd %d: CAS ch%d slice%d at %d violates tRCD=%d (ACT at %d)",
+					i, bk.ch, bk.slice, e.dc, p.TRCD, lastACT[bk])
+			}
+			if seenCASAny[e.c.Channel] && e.dc < lastCASAny[e.c.Channel]+uint64(p.TCCDS) {
+				t.Errorf("cmd %d: CAS ch%d at %d violates tCCD_S=%d (CAS at %d)",
+					i, e.c.Channel, e.dc, p.TCCDS, lastCASAny[e.c.Channel])
+			}
+			gk := bgKey{e.c.Channel, e.c.Rank, e.c.BankGroup}
+			if seenCASBG[gk] && e.dc < lastCASBG[gk]+uint64(p.TCCDL) {
+				t.Errorf("cmd %d: CAS ch%d bg%d at %d violates tCCD_L=%d (CAS at %d)",
+					i, e.c.Channel, gk.bg, e.dc, p.TCCDL, lastCASBG[gk])
+			}
+			lastCASAny[e.c.Channel] = e.dc
+			seenCASAny[e.c.Channel] = true
+			lastCASBG[gk] = e.dc
+			seenCASBG[gk] = true
+		case CmdRefresh:
+			// All-bank refresh only tightens subsequent constraints;
+			// nothing to check here.
+		}
+	}
+	for ch, acts := range actTimes {
+		for i := 4; i < len(acts); i++ {
+			if acts[i] < acts[i-4]+uint64(p.TFAW) {
+				t.Errorf("ch%d: 5 ACTs within tFAW=%d window: %v", ch, p.TFAW, acts[i-4:i+1])
+			}
+		}
+	}
+	return casCount
+}
+
+func TestProtocolInvariantsRandomStreams(t *testing.T) {
+	p := DDR4_3200()
+	for seed := int64(1); seed <= 5; seed++ {
+		const n = 1200
+		trace := driveRandom(t, p, seed, n)
+		if cas := checkProtocol(t, p, trace); cas != n {
+			t.Fatalf("seed %d: %d column commands for %d requests", seed, cas, n)
+		}
+	}
+}
+
+func TestProtocolInvariantsUnderRefreshPressure(t *testing.T) {
+	// Shrink the refresh interval so many refreshes land inside the
+	// stream, exercising the refresh/ACT/CAS interleaving.
+	p := DDR4_3200()
+	p.TREFI = 500
+	p.TRFC = 100
+	trace := driveRandom(t, p, 42, 800)
+	refreshes := 0
+	for _, e := range trace {
+		if e.cmd == CmdRefresh {
+			refreshes++
+		}
+	}
+	if refreshes == 0 {
+		t.Fatal("no refreshes fired despite tiny tREFI")
+	}
+	if cas := checkProtocol(t, p, trace); cas != 800 {
+		t.Fatalf("%d column commands for 800 requests", cas)
+	}
+}
+
+func TestProtocolInvariantsSingleBankHammer(t *testing.T) {
+	// Confine all traffic to one channel so the four-activate window
+	// and the per-bank PRE/ACT cycle are stressed as hard as possible:
+	// every request misses its row, forcing a PRE+ACT per access.
+	p := DDR4_3200()
+	p.Channels = 1
+	eng := sim.NewEngine()
+	eng.MaxCycles = 50_000_000
+	sys := NewSystem(eng, p, sim.NewStats(), "dram.")
+	var trace []tracedCmd
+	sys.Trace = func(cmd Cmd, c Coord, dc uint64) {
+		trace = append(trace, tracedCmd{cmd, c, dc})
+	}
+	rng := rand.New(rand.NewSource(9))
+	m := sys.Mapper()
+	remaining, inflight := 600, 0
+	row := 0
+	eng.Register(sim.TickerFunc(func(now sim.Cycle) bool {
+		for remaining > 0 {
+			// A fresh row on a random bank every request: all conflicts.
+			row++
+			c := Coord{
+				Channel:   0,
+				BankGroup: rng.Intn(p.BankGroups),
+				Bank:      rng.Intn(p.Banks),
+				Row:       row % 256,
+			}
+			r := &Request{Addr: m.Unmap(c), Kind: Read, OnDone: func(sim.Cycle) { inflight-- }}
+			if !sys.Submit(r) {
+				break
+			}
+			inflight++
+			remaining--
+		}
+		return remaining > 0 || inflight > 0
+	}))
+	if _, err := eng.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	acts := 0
+	for _, e := range trace {
+		if e.cmd == CmdAct {
+			acts++
+		}
+	}
+	if acts < 500 {
+		t.Fatalf("hammer produced only %d ACTs; rows should conflict", acts)
+	}
+	checkProtocol(t, p, trace)
+}
+
+func TestRequestBufferNeverExceedsCapacity(t *testing.T) {
+	p := DDR4_3200()
+	p.Channels = 1
+	eng := sim.NewEngine()
+	sys := NewSystem(eng, p, sim.NewStats(), "dram.")
+	m := sys.Mapper()
+	addr := func(row int) memspace.PAddr {
+		return m.Unmap(Coord{Row: row})
+	}
+	for i := 0; i < p.RequestBuffer; i++ {
+		if !sys.Submit(&Request{Addr: addr(i), Kind: Read}) {
+			t.Fatalf("submit %d rejected below capacity %d", i, p.RequestBuffer)
+		}
+	}
+	if sys.QueueLen(addr(0)) != p.RequestBuffer {
+		t.Fatalf("queue length %d, want %d", sys.QueueLen(addr(0)), p.RequestBuffer)
+	}
+	if sys.CanAccept(addr(0)) {
+		t.Fatal("CanAccept true on a full buffer")
+	}
+	for i := 0; i < 8; i++ {
+		if sys.Submit(&Request{Addr: addr(100 + i), Kind: Read}) {
+			t.Fatal("submit accepted beyond the request buffer capacity")
+		}
+	}
+	// Draining must reopen the buffer.
+	done := 0
+	for sys.QueueLen(addr(0)) == p.RequestBuffer {
+		eng.Step()
+		done++
+		if done > 100_000 {
+			t.Fatal("buffer never drained")
+		}
+	}
+	if !sys.CanAccept(addr(0)) {
+		t.Fatal("CanAccept false after drain")
+	}
+	if !sys.Submit(&Request{Addr: addr(200), Kind: Read}) {
+		t.Fatal("submit rejected after drain")
+	}
+}

@@ -17,6 +17,33 @@ type System struct {
 	stats  *sim.Stats
 	prefix string
 	chans  []*channel
+
+	// Trace, when non-nil, is invoked for every issued DRAM command
+	// with the DRAM cycle it issued at. The property tests use it to
+	// check the JEDEC timing invariants directly; it is not called on
+	// the simulation fast path when unset.
+	Trace func(cmd Cmd, c Coord, dc uint64)
+}
+
+// Cmd identifies one issued DRAM command for tracing.
+type Cmd uint8
+
+const (
+	// CmdAct opens a row.
+	CmdAct Cmd = iota
+	// CmdPre closes a bank's open row.
+	CmdPre
+	// CmdRead is a read column command.
+	CmdRead
+	// CmdWrite is a write column command.
+	CmdWrite
+	// CmdRefresh is an all-bank refresh (Coord carries the channel
+	// only).
+	CmdRefresh
+)
+
+func (c Cmd) String() string {
+	return [...]string{"ACT", "PRE", "RD", "WR", "REF"}[c]
 }
 
 // NewSystem builds a memory system on the engine, registered as a
@@ -25,7 +52,9 @@ type System struct {
 func NewSystem(eng *sim.Engine, p Params, stats *sim.Stats, prefix string) *System {
 	s := &System{p: p, m: NewMapper(p), eng: eng, stats: stats, prefix: prefix}
 	for i := 0; i < p.Channels; i++ {
-		s.chans = append(s.chans, newChannel(p))
+		ch := newChannel(p)
+		ch.idx = i
+		s.chans = append(s.chans, ch)
 	}
 	eng.Register(s)
 	return s
@@ -90,6 +119,9 @@ func (s *System) busy() bool {
 func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 	if ch.maybeRefresh(dc) {
 		s.stats.Inc(s.prefix + "refreshes")
+		if s.Trace != nil {
+			s.Trace(CmdRefresh, Coord{Channel: ch.idx}, dc)
+		}
 		return
 	}
 	// First-ready: oldest request whose column command can issue now.
@@ -114,6 +146,9 @@ func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 				ch.issuePRE(r, dc)
 				r.requiredPre = true
 				s.stats.Inc(s.prefix + "pre")
+				if s.Trace != nil {
+					s.Trace(CmdPre, r.coord, dc)
+				}
 				return
 			}
 			continue
@@ -122,6 +157,9 @@ func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 			ch.issueACT(r, dc)
 			r.requiredAct = true
 			s.stats.Inc(s.prefix + "act")
+			if s.Trace != nil {
+				s.Trace(CmdAct, r.coord, dc)
+			}
 			return
 		}
 	}
@@ -132,6 +170,13 @@ func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 func (s *System) completeCAS(ch *channel, r *Request, dc uint64, now sim.Cycle) {
 	doneAt := ch.issueCAS(r, dc)
 	ch.remove(r)
+	if s.Trace != nil {
+		cmd := CmdRead
+		if r.Kind == Write {
+			cmd = CmdWrite
+		}
+		s.Trace(cmd, r.coord, dc)
+	}
 	switch {
 	case !r.requiredAct:
 		s.stats.Inc(s.prefix + "rowhits")

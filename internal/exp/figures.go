@@ -27,31 +27,39 @@ func (r MainRow) SpeedupVsDMP() float64 { return float64(r.DMP.Cycles) / float64
 
 // MainEvaluation runs the 12 benchmarks on the baseline and DX100
 // systems (and DMP when withDMP is set), producing the per-workload
-// rows behind Figures 9-12.
+// rows behind Figures 9-12. The independent runs execute concurrently
+// on the worker pool (see SetParallelism); rows come back in workload
+// order regardless of which run finishes first.
 func MainEvaluation(scale int, names []string, withDMP bool) ([]MainRow, error) {
 	if names == nil {
 		names = workloads.Order
 	}
-	var rows []MainRow
+	modes := []Mode{Baseline, DX}
+	if withDMP {
+		modes = append(modes, DMP)
+	}
+	specs := make([]runSpec, 0, len(names)*len(modes))
 	for _, name := range names {
-		base, err := Run(name, scale, Default(Baseline))
-		if err != nil {
-			return nil, err
-		}
-		dx, err := Run(name, scale, Default(DX))
-		if err != nil {
-			return nil, err
-		}
-		row := MainRow{Workload: name, Base: base, DX: dx}
-		if withDMP {
-			dmp, err := Run(name, scale, Default(DMP))
+		for _, m := range modes {
+			sp, err := namedSpec(name, scale, Default(m))
 			if err != nil {
 				return nil, err
 			}
-			row.DMP = dmp
-			row.HasDMP = true
+			specs = append(specs, sp)
 		}
-		rows = append(rows, row)
+	}
+	res, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MainRow, len(names))
+	for i, name := range names {
+		rr := res[i*len(modes) : (i+1)*len(modes)]
+		rows[i] = MainRow{Workload: name, Base: rr[0], DX: rr[1]}
+		if withDMP {
+			rows[i].DMP = rr[2]
+			rows[i].HasDMP = true
+		}
 	}
 	return rows, nil
 }
@@ -157,6 +165,7 @@ func Fig8aAllHit(scale int) (*Series, error) {
 		{func() *workloads.Instance { return workloads.MicroRMW(false, scale) }, 4, "3.7x"},
 		{func() *workloads.Instance { return workloads.MicroScatter(scale) }, 1, "6.6x"},
 	}
+	specs := make([]runSpec, 0, 2*len(cases))
 	for _, c := range cases {
 		bcfg := Default(Baseline)
 		bcfg.Cores = c.cores
@@ -164,24 +173,24 @@ func Fig8aAllHit(scale int) (*Series, error) {
 		if c.cores == 1 {
 			bcfg.LLCBytes = 4 << 20
 		}
-		inst := c.inst()
-		base, err := RunInstance(inst, bcfg)
-		if err != nil {
-			return nil, err
-		}
 		dcfg := Default(DX)
 		dcfg.Cores = c.cores
 		dcfg.WarmLLC = true
 		if c.cores == 1 {
 			dcfg.LLCBytes = 2 << 20
 		}
-		inst2 := c.inst()
-		dx, err := RunInstance(inst2, dcfg)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs,
+			runSpec{inst: c.inst, cfg: bcfg},
+			runSpec{inst: c.inst, cfg: dcfg})
+	}
+	res, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		base, dx := res[2*i], res[2*i+1]
 		sp := float64(base.Cycles) / float64(dx.Cycles)
-		s.AddRow(inst.Name, fmt.Sprint(base.Cycles), fmt.Sprint(dx.Cycles), f2x(sp), c.paper)
+		s.AddRow(base.Workload, fmt.Sprint(base.Cycles), fmt.Sprint(dx.Cycles), f2x(sp), c.paper)
 	}
 	return s, nil
 }
@@ -193,15 +202,21 @@ func Fig8bcAllMiss() (*Series, error) {
 		Title:  "Figure 8b/c: All-Miss gather vs index ordering (64K unique indices)",
 		Header: []string{"ordering", "base cycles", "dx cycles", "speedup", "BW base", "BW dx"},
 	}
-	for _, cfg := range workloads.AllMissSeries() {
-		base, err := RunInstance(workloads.MicroAllMiss(cfg), Default(Baseline))
-		if err != nil {
-			return nil, err
-		}
-		dx, err := RunInstance(workloads.MicroAllMiss(cfg), Default(DX))
-		if err != nil {
-			return nil, err
-		}
+	cfgs := workloads.AllMissSeries()
+	specs := make([]runSpec, 0, 2*len(cfgs))
+	for _, cfg := range cfgs {
+		cfg := cfg
+		inst := func() *workloads.Instance { return workloads.MicroAllMiss(cfg) }
+		specs = append(specs,
+			runSpec{inst: inst, cfg: Default(Baseline)},
+			runSpec{inst: inst, cfg: Default(DX)})
+	}
+	res, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range cfgs {
+		base, dx := res[2*i], res[2*i+1]
 		s.AddRow(cfg.Label(), fmt.Sprint(base.Cycles), fmt.Sprint(dx.Cycles),
 			f2x(float64(base.Cycles)/float64(dx.Cycles)), pct(base.BWUtil), pct(dx.BWUtil))
 	}
@@ -209,7 +224,9 @@ func Fig8bcAllMiss() (*Series, error) {
 	return s, nil
 }
 
-// Fig13TileSize sweeps the scratchpad tile size (§6.4).
+// Fig13TileSize sweeps the scratchpad tile size (§6.4). The baseline
+// runs and every tile point are submitted as one batch so the whole
+// sweep fans out across the pool.
 func Fig13TileSize(scale int, names []string) (*Series, error) {
 	if names == nil {
 		names = workloads.Order
@@ -218,24 +235,36 @@ func Fig13TileSize(scale int, names []string) (*Series, error) {
 		Title:  "Figure 13: sensitivity to tile size",
 		Header: []string{"tile", "geomean speedup"},
 	}
-	var baseCycles = map[string]float64{}
+	tiles := []int{1024, 2048, 4096, 8192, 16384, 32768}
+	specs := make([]runSpec, 0, len(names)*(1+len(tiles)))
 	for _, n := range names {
-		b, err := Run(n, scale, Default(Baseline))
+		sp, err := namedSpec(n, scale, Default(Baseline))
 		if err != nil {
 			return nil, err
 		}
-		baseCycles[n] = float64(b.Cycles)
+		specs = append(specs, sp)
 	}
-	for _, tile := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
-		var sps []float64
+	for _, tile := range tiles {
 		for _, n := range names {
 			cfg := Default(DX)
 			cfg.Accel.Machine.TileElems = tile
-			dx, err := Run(n, scale, cfg)
+			sp, err := namedSpec(n, scale, cfg)
 			if err != nil {
 				return nil, err
 			}
-			sps = append(sps, baseCycles[n]/float64(dx.Cycles))
+			specs = append(specs, sp)
+		}
+	}
+	res, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	base := res[:len(names)]
+	for ti, tile := range tiles {
+		dx := res[(1+ti)*len(names) : (2+ti)*len(names)]
+		var sps []float64
+		for i := range names {
+			sps = append(sps, float64(base[i].Cycles)/float64(dx[i].Cycles))
 		}
 		s.AddRow(fmt.Sprintf("%dK", tile/1024), f2x(sim.Geomean(sps)))
 	}
@@ -262,17 +291,29 @@ func Fig14Scalability(scale int, names []string) (*Series, error) {
 		{"8 cores, 1x DX100 (4MB SPD)", Scale8Baseline(), Scale8(1), scale * 2},
 		{"8 cores, 2x DX100", Scale8Baseline(), Scale8(2), scale * 2},
 	}
+	specs := make([]runSpec, 0, 2*len(configs)*len(names))
 	for _, c := range configs {
-		var sps []float64
 		for _, n := range names {
-			b, err := Run(n, c.scale, c.base)
+			bs, err := namedSpec(n, c.scale, c.base)
 			if err != nil {
 				return nil, err
 			}
-			d, err := Run(n, c.scale, c.dx)
+			ds, err := namedSpec(n, c.scale, c.dx)
 			if err != nil {
 				return nil, err
 			}
+			specs = append(specs, bs, ds)
+		}
+	}
+	res, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range configs {
+		var sps []float64
+		for i := range names {
+			b := res[2*(ci*len(names)+i)]
+			d := res[2*(ci*len(names)+i)+1]
 			sps = append(sps, float64(b.Cycles)/float64(d.Cycles))
 		}
 		s.AddRow(c.label, f2x(sim.Geomean(sps)))
@@ -292,32 +333,32 @@ func AblationReorder(scale int, names []string) (*Series, error) {
 		Title:  "Ablation: reordering window and DRAM injection path",
 		Header: []string{"workload", "full dx100", "tiny row table", "LLC-inject"},
 	}
+	tiny := Default(DX)
+	tiny.Accel.RowTable = dx100.RowTableConfig{Rows: 1, Cols: 1}
+	llc := Default(DX)
+	llc.Accel.ForceLLCRoute = true
+	variants := []SystemConfig{Default(Baseline), Default(DX), tiny, llc}
+	specs := make([]runSpec, 0, len(names)*len(variants))
 	for _, n := range names {
-		base, err := Run(n, scale, Default(Baseline))
-		if err != nil {
-			return nil, err
+		for _, cfg := range variants {
+			sp, err := namedSpec(n, scale, cfg)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, sp)
 		}
-		full, err := Run(n, scale, Default(DX))
-		if err != nil {
-			return nil, err
-		}
-		tiny := Default(DX)
-		tiny.Accel.RowTable = dx100.RowTableConfig{Rows: 1, Cols: 1}
-		tinyRes, err := Run(n, scale, tiny)
-		if err != nil {
-			return nil, err
-		}
-		llc := Default(DX)
-		llc.Accel.ForceLLCRoute = true
-		llcRes, err := Run(n, scale, llc)
-		if err != nil {
-			return nil, err
-		}
-		b := float64(base.Cycles)
+	}
+	res, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range names {
+		rr := res[i*len(variants) : (i+1)*len(variants)]
+		b := float64(rr[0].Cycles)
 		s.AddRow(n,
-			f2x(b/float64(full.Cycles)),
-			f2x(b/float64(tinyRes.Cycles)),
-			f2x(b/float64(llcRes.Cycles)))
+			f2x(b/float64(rr[1].Cycles)),
+			f2x(b/float64(rr[2].Cycles)),
+			f2x(b/float64(rr[3].Cycles)))
 	}
 	return s, nil
 }

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dx100/internal/workloads"
+)
+
+// Every (workload, mode, scale) run assembles a fully self-contained
+// system — its own engine, statistics registry, DRAM channels and
+// caches — and every workload builder seeds its own RNG, so
+// independent runs share no mutable state and can execute on separate
+// goroutines. The experiment drivers below fan their runs out over a
+// bounded worker pool and reassemble results in submission order,
+// which keeps every figure byte-identical to a serial run (proved by
+// TestMainEvaluationSerialParallelIdentical).
+
+// parallelism holds the configured worker count; 0 selects the
+// default, runtime.GOMAXPROCS(0).
+var parallelism atomic.Int32
+
+// SetParallelism sets how many experiment runs may execute
+// concurrently. n <= 0 restores the default (one worker per available
+// CPU). It is safe to call between experiments but not while one is
+// in flight.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for every i in [0, n) on a bounded worker pool
+// and waits for completion. Workers claim indices from a shared
+// counter, so scheduling order is nondeterministic — callers must make
+// each fn(i) write only to its own pre-allocated slot, which is what
+// restores deterministic assembly. The lowest-index error is returned;
+// after any failure no new indices are claimed.
+func forEach(n int, fn func(i int) error) error {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   int64 = -1
+		failed atomic.Bool
+		errs   = make([]error, n)
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSpec is one simulator run awaiting dispatch: a factory producing
+// a fresh workload instance (generation happens on the worker, inside
+// the run's own goroutine) and the system configuration to run it on.
+type runSpec struct {
+	inst func() *workloads.Instance
+	cfg  SystemConfig
+}
+
+// namedSpec builds a runSpec for a registered workload.
+func namedSpec(name string, scale int, cfg SystemConfig) (runSpec, error) {
+	b, ok := workloads.Registry[name]
+	if !ok {
+		return runSpec{}, fmt.Errorf("exp: unknown workload %q", name)
+	}
+	return runSpec{inst: func() *workloads.Instance { return b(scale) }, cfg: cfg}, nil
+}
+
+// runAll executes the specs on the worker pool and returns their
+// results in spec order.
+func runAll(specs []runSpec) ([]Result, error) {
+	out := make([]Result, len(specs))
+	err := forEach(len(specs), func(i int) error {
+		r, err := RunInstance(specs[i].inst(), specs[i].cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexInOrderSlots(t *testing.T) {
+	SetParallelism(8)
+	defer SetParallelism(0)
+	const n = 100
+	out := make([]int, n)
+	err := forEach(n, func(i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	SetParallelism(workers)
+	defer SetParallelism(0)
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	err := forEach(24, func(i int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", p, workers)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	SetParallelism(4)
+	defer SetParallelism(0)
+	sentinel := errors.New("boom")
+	err := forEach(16, func(i int) error {
+		if i == 5 || i == 11 {
+			return fmt.Errorf("job %d: %w", i, sentinel)
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestForEachSerialFallback(t *testing.T) {
+	SetParallelism(1)
+	defer SetParallelism(0)
+	var order []int
+	err := forEach(5, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial fallback out of order: %v", order)
+		}
+	}
+}
+
+func TestParallelismDefaultsAndOverride(t *testing.T) {
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("default parallelism %d < 1", Parallelism())
+	}
+	SetParallelism(7)
+	defer SetParallelism(0)
+	if Parallelism() != 7 {
+		t.Fatalf("override ignored: %d", Parallelism())
+	}
+	SetParallelism(-3)
+	if Parallelism() < 1 {
+		t.Fatalf("negative override should restore default, got %d", Parallelism())
+	}
+}
+
+func TestRunAllUnknownWorkload(t *testing.T) {
+	if _, err := namedSpec("NOPE", 1, Default(Baseline)); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
