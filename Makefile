@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench examples figures clean
+.PHONY: all build test vet race bench microbench profile examples figures clean
 
 all: build test
 
@@ -23,6 +23,20 @@ race: vet
 # Regenerate every figure/table (tens of minutes; see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -timeout=120m .
+
+# Engine microbenchmarks (event heap, dense/sparse stepping, DRAM tick)
+# plus the end-to-end fast-forward-on/off comparison; numbers land in
+# BENCH_engine.json.
+microbench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedulePop|BenchmarkEngineStep' -benchmem ./internal/sim
+	$(GO) test -run '^$$' -bench BenchmarkDRAMTick -benchmem ./internal/dram
+	$(GO) test -run '^$$' -bench BenchmarkFigureRun -benchtime=1x -timeout=60m .
+
+# CPU + heap profile of a representative run; inspect with
+#   go tool pprof cpu.prof
+profile:
+	$(GO) run ./cmd/dx100sim -run GZZ -mode dx100 -scale 8 \
+		-cpuprofile cpu.prof -memprofile mem.prof
 
 examples:
 	$(GO) run ./examples/quickstart

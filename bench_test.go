@@ -186,6 +186,42 @@ func BenchmarkEnergyEstimate(b *testing.B) {
 	}
 }
 
+// BenchmarkFigureRun times single end-to-end experiment runs with the
+// quiescence-aware engine enabled ("ff") and with exact cycle-by-cycle
+// stepping ("noff"). The simulated results are byte-identical either
+// way (internal/exp's equivalence tests pin that); the ratio of the two
+// wall-clock times is the engine speedup recorded in BENCH_engine.json.
+func BenchmarkFigureRun(b *testing.B) {
+	const figureScale = 4
+	cases := []struct {
+		workload string
+		mode     exp.Mode
+		label    string
+	}{
+		{"IS", exp.Baseline, "IS/baseline"},
+		{"GZZ", exp.Baseline, "GZZ/baseline"},
+		{"GZZ", exp.DX, "GZZ/dx100"},
+		{"XRAGE", exp.DX, "XRAGE/dx100"},
+	}
+	for _, c := range cases {
+		for _, noff := range []bool{false, true} {
+			tag := "ff"
+			if noff {
+				tag = "noff"
+			}
+			b.Run(c.label+"/"+tag, func(b *testing.B) {
+				cfg := exp.Default(c.mode)
+				cfg.NoFastForward = noff
+				for i := 0; i < b.N; i++ {
+					if _, err := exp.Run(c.workload, figureScale, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkAblationReorder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s, err := exp.AblationReorder(sweepScale, nil)

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dx100/internal/amodel"
@@ -37,9 +39,37 @@ func main() {
 		names   = flag.String("workloads", "", "comma-separated workload subset for -fig")
 		jobs    = flag.Int("jobs", 0, "concurrent experiment runs (0 = one per CPU, 1 = serial)")
 		verbose = flag.Bool("v", false, "dump raw statistics after -run")
+		noFF    = flag.Bool("noff", false, "disable idle-cycle fast-forward (exact stepping; results are identical)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	exp.SetParallelism(*jobs)
+	exp.SetNoFastForward(*noFF)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	switch {
 	case *list:
 		listWorkloads()

@@ -86,12 +86,21 @@ type Cache struct {
 	portUsed  int
 
 	// blocked holds downstream accesses the level below rejected;
-	// they drain in Tick, avoiding per-cycle retry events.
-	blocked []blockedAccess
+	// they drain in Tick, avoiding per-cycle retry events. Pops
+	// advance head instead of reslicing so the backing array is
+	// reused once drained.
+	blocked     []blockedAccess
+	blockedHead int
 
 	// Stride prefetcher state.
 	lastMiss   memspace.PAddr
 	lastStride int64
+
+	cAccesses   *sim.Counter
+	cHits       *sim.Counter
+	cMisses     *sim.Counter
+	cPrefetches *sim.Counter
+	cWritebacks *sim.Counter
 }
 
 // New builds a cache on top of below.
@@ -108,6 +117,11 @@ func New(eng *sim.Engine, cfg Config, below Level, stats *sim.Stats, prefix stri
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)
 	}
+	c.cAccesses = stats.Counter(prefix + "accesses")
+	c.cHits = stats.Counter(prefix + "hits")
+	c.cMisses = stats.Counter(prefix + "misses")
+	c.cPrefetches = stats.Counter(prefix + "prefetches")
+	c.cWritebacks = stats.Counter(prefix + "writebacks")
 	eng.Register(c)
 	return c
 }
@@ -169,7 +183,7 @@ func (c *Cache) victim(now sim.Cycle, set int) *line {
 		}
 	}
 	if v.dirty {
-		c.stats.Inc(c.prefix + "writebacks")
+		c.cWritebacks.Inc()
 		wbAddr := memspace.PAddr((v.tag*uint64(c.cfg.Sets) + uint64(set)) << memspace.LineBits)
 		c.retryAccess(now, wbAddr, Store, nil)
 	}
@@ -185,7 +199,7 @@ type blockedAccess struct {
 // retryAccess pushes an access to the level below, queueing it for
 // Tick-time retry if rejected.
 func (c *Cache) retryAccess(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone func(sim.Cycle)) {
-	if len(c.blocked) == 0 && c.below.Access(now, addr, kind, onDone) {
+	if c.blockedHead == len(c.blocked) && c.below.Access(now, addr, kind, onDone) {
 		return
 	}
 	c.blocked = append(c.blocked, blockedAccess{addr, kind, onDone})
@@ -206,7 +220,7 @@ func (c *Cache) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone fun
 	if m, ok := c.mshrs[lineAddr]; ok {
 		c.portUsed++
 		if kind != Prefetch {
-			c.stats.Inc(c.prefix + "accesses")
+			c.cAccesses.Inc()
 			if onDone != nil {
 				m.waiters = append(m.waiters, onDone)
 			}
@@ -222,8 +236,8 @@ func (c *Cache) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone fun
 		if kind == Prefetch {
 			return true
 		}
-		c.stats.Inc(c.prefix + "accesses")
-		c.stats.Inc(c.prefix + "hits")
+		c.cAccesses.Inc()
+		c.cHits.Inc()
 		c.stamp++
 		ln.used = c.stamp
 		if kind == Store {
@@ -241,10 +255,10 @@ func (c *Cache) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone fun
 	}
 	c.portUsed++
 	if kind != Prefetch {
-		c.stats.Inc(c.prefix + "accesses")
-		c.stats.Inc(c.prefix + "misses")
+		c.cAccesses.Inc()
+		c.cMisses.Inc()
 	} else {
-		c.stats.Inc(c.prefix + "prefetches")
+		c.cPrefetches.Inc()
 	}
 	m := &mshr{addr: lineAddr, kind: kind}
 	if onDone != nil {
@@ -300,14 +314,31 @@ func (c *Cache) trainPrefetcher(now sim.Cycle, missAddr memspace.PAddr) {
 // as the level below frees up. A cache is busy while misses are
 // outstanding.
 func (c *Cache) Tick(now sim.Cycle) bool {
-	for len(c.blocked) > 0 {
-		b := c.blocked[0]
+	for c.blockedHead < len(c.blocked) {
+		b := c.blocked[c.blockedHead]
 		if !c.below.Access(now, b.addr, b.kind, b.onDone) {
 			break
 		}
-		c.blocked = c.blocked[1:]
+		c.blocked[c.blockedHead] = blockedAccess{}
+		c.blockedHead++
 	}
-	return len(c.mshrs) > 0 || len(c.blocked) > 0
+	if c.blockedHead == len(c.blocked) {
+		c.blocked = c.blocked[:0]
+		c.blockedHead = 0
+	}
+	return len(c.mshrs) > 0 || c.blockedHead < len(c.blocked)
+}
+
+// NextWake implements sim.WakeHinter. A cache acts on its own only to
+// retry blocked downstream accesses — the level below can free ports
+// or buffer space on any cycle, so a non-empty retry queue pins the
+// clock. Everything else (fills, waiter callbacks) arrives through
+// scheduled events.
+func (c *Cache) NextWake(now sim.Cycle) (sim.Cycle, bool) {
+	if c.blockedHead < len(c.blocked) {
+		return now + 1, true
+	}
+	return sim.NeverWake, true
 }
 
 func abs64(v int64) int64 {

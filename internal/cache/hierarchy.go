@@ -10,9 +10,12 @@ import (
 // DRAM system, buffering submissions that the channel request buffer
 // rejects.
 type MemAdapter struct {
-	eng     *sim.Engine
-	sys     *dram.System
-	pending []*dram.Request
+	eng *sim.Engine
+	sys *dram.System
+	// pending drains head-first in Tick; the head index avoids
+	// reslicing and the backing array is reused once empty.
+	pending     []*dram.Request
+	pendingHead int
 	// MaxPending bounds the overflow buffer; Access refuses beyond it
 	// so the MSHR back-pressure propagates upward.
 	MaxPending int
@@ -35,7 +38,7 @@ func (a *MemAdapter) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDon
 	if a.sys.Submit(r) {
 		return true
 	}
-	if len(a.pending) >= a.MaxPending {
+	if len(a.pending)-a.pendingHead >= a.MaxPending {
 		return false
 	}
 	a.pending = append(a.pending, r)
@@ -50,13 +53,28 @@ func (a *MemAdapter) Invalidate(memspace.PAddr) {}
 
 // Tick drains the overflow buffer into freed request-buffer slots.
 func (a *MemAdapter) Tick(now sim.Cycle) bool {
-	for len(a.pending) > 0 {
-		if !a.sys.Submit(a.pending[0]) {
+	for a.pendingHead < len(a.pending) {
+		if !a.sys.Submit(a.pending[a.pendingHead]) {
 			break
 		}
-		a.pending = a.pending[1:]
+		a.pending[a.pendingHead] = nil
+		a.pendingHead++
 	}
-	return len(a.pending) > 0
+	if a.pendingHead == len(a.pending) {
+		a.pending = a.pending[:0]
+		a.pendingHead = 0
+	}
+	return a.pendingHead < len(a.pending)
+}
+
+// NextWake implements sim.WakeHinter: the adapter acts only while the
+// overflow buffer holds requests waiting for channel slots, which can
+// free on any DRAM edge.
+func (a *MemAdapter) NextWake(now sim.Cycle) (sim.Cycle, bool) {
+	if a.pendingHead < len(a.pending) {
+		return now + 1, true
+	}
+	return sim.NeverWake, true
 }
 
 // Hierarchy is the full cache system of one processor: per-core L1D

@@ -37,6 +37,37 @@ type entry struct {
 	wakers  []uint64
 }
 
+// seqQueue is a FIFO of sequence numbers backed by a reusable slice:
+// pops advance a head index instead of reslicing, and the backing
+// array is recycled once drained, so steady-state operation does not
+// allocate.
+type seqQueue struct {
+	buf  []uint64
+	head int
+}
+
+func (q *seqQueue) len() int      { return len(q.buf) - q.head }
+func (q *seqQueue) peek() uint64  { return q.buf[q.head] }
+func (q *seqQueue) push(v uint64) { q.buf = append(q.buf, v) }
+
+func (q *seqQueue) pop() uint64 {
+	v := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}
+
+// pushOrdered inserts v keeping the queued region sorted ascending.
+func (q *seqQueue) pushOrdered(v uint64) {
+	q.buf = append(q.buf, v)
+	for i := len(q.buf) - 1; i > q.head && q.buf[i] < q.buf[i-1]; i-- {
+		q.buf[i], q.buf[i-1] = q.buf[i-1], q.buf[i]
+	}
+}
+
 // Core executes one µop stream. It is a sim.Ticker.
 type Core struct {
 	cfg       Config
@@ -48,20 +79,28 @@ type Core struct {
 
 	stream     Stream
 	streamDone bool
-	pending    *MicroOp // fetched op awaiting ROB space
+	pending    MicroOp // fetched op awaiting ROB space (valid when hasPending)
+	hasPending bool
 
 	ring          []entry
 	head          uint64 // oldest unretired seq
 	tail          uint64 // next seq to allocate
 	robUsed       int
-	readyALU      []uint64
-	readyMem      []uint64
+	readyALU      seqQueue
+	readyMem      seqQueue
 	lqUsed        int
 	sqUsed        int
 	atomicPending bool
 	inflight      int // memory ops issued, completion pending
 
 	finished bool
+
+	cCycles *sim.Counter
+	cSpin   *sim.Counter
+	cInstr  *sim.Counter
+	cLoads  *sim.Counter
+	cStores *sim.Counter
+	cAtomic *sim.Counter
 }
 
 // NewCore builds a core over the given L1 and translation function,
@@ -76,6 +115,12 @@ func NewCore(eng *sim.Engine, cfg Config, l1 cache.Level, translate func(memspac
 		l1:        l1,
 		ring:      make([]entry, cfg.ROB),
 	}
+	c.cCycles = stats.Counter(prefix + "cycles")
+	c.cSpin = stats.Counter(prefix + "spin_cycles")
+	c.cInstr = stats.Counter(prefix + "instructions")
+	c.cLoads = stats.Counter(prefix + "loads")
+	c.cStores = stats.Counter(prefix + "stores")
+	c.cAtomic = stats.Counter(prefix + "atomics")
 	eng.Register(c)
 	return c
 }
@@ -90,7 +135,7 @@ func (c *Core) Run(s Stream) {
 
 // Done reports whether the core has retired its whole stream.
 func (c *Core) Done() bool {
-	return (c.stream == nil || c.streamDone) && c.pending == nil && c.head == c.tail && c.inflight == 0
+	return (c.stream == nil || c.streamDone) && !c.hasPending && c.head == c.tail && c.inflight == 0
 }
 
 func (c *Core) at(seq uint64) *entry { return &c.ring[seq%uint64(len(c.ring))] }
@@ -104,7 +149,7 @@ func (c *Core) Tick(now sim.Cycle) bool {
 		}
 		return false
 	}
-	c.stats.Inc(c.prefix + "cycles")
+	c.cCycles.Inc()
 	c.retire()
 	c.fetch()
 	c.issueBarrier()
@@ -118,6 +163,88 @@ func (c *Core) Tick(now sim.Cycle) bool {
 		return false
 	}
 	return true
+}
+
+// spinningBarrier reports whether the window head is a Barrier that
+// would poll (and fail) its Ready predicate this cycle. Ready must be
+// a pure predicate over simulator state (see MicroOp.Ready), so
+// evaluating it here has no effect on the model.
+func (c *Core) spinningBarrier() bool {
+	if c.head >= c.tail {
+		return false
+	}
+	e := c.at(c.head)
+	return e.op.Kind == Barrier && e.state == stReady && e.op.Ready != nil && !e.op.Ready()
+}
+
+// NextWake implements sim.WakeHinter. The core can advance on its own
+// whenever it could retire, fetch, or issue something next cycle; in
+// every other state it is waiting on completions (event callbacks) or
+// on external state referenced by a spinning barrier, both of which
+// are covered by the event heap and the other components' hints.
+func (c *Core) NextWake(now sim.Cycle) (sim.Cycle, bool) {
+	if c.Done() {
+		if !c.finished {
+			return now + 1, true // next tick records done_cycle
+		}
+		return sim.NeverWake, true
+	}
+	// Retirement frees the head next cycle.
+	if c.head < c.tail && c.at(c.head).state == stDone {
+		return now + 1, true
+	}
+	// Fetch can pull (or discover the end of) the stream.
+	if c.stream != nil && !c.streamDone && c.tail-c.head < uint64(len(c.ring)) {
+		if !c.hasPending || c.robUsed+c.pending.weight() <= c.cfg.ROB {
+			return now + 1, true
+		}
+	}
+	if c.readyALU.len() > 0 {
+		return now + 1, true
+	}
+	// A barrier whose predicate already holds completes next tick. A
+	// spinning barrier only burns spin_cycles (SkipCycles accounts
+	// them) until some other component changes the predicate's inputs.
+	if c.head < c.tail {
+		e := c.at(c.head)
+		if e.op.Kind == Barrier && e.state == stReady && (e.op.Ready == nil || e.op.Ready()) {
+			return now + 1, true
+		}
+	}
+	// The memory queue issues in order: only the oldest ready op can
+	// attempt the L1, and only when its queue slot and fencing allow.
+	if c.readyMem.len() > 0 && !c.atomicPending {
+		e := c.at(c.readyMem.peek())
+		switch e.op.Kind {
+		case Load:
+			if c.lqUsed < c.cfg.LQ {
+				return now + 1, true
+			}
+		case Store:
+			if c.sqUsed < c.cfg.SQ {
+				return now + 1, true
+			}
+		case Atomic:
+			if c.readyMem.peek() == c.head {
+				return now + 1, true
+			}
+		}
+	}
+	return sim.NeverWake, true
+}
+
+// SkipCycles implements sim.CycleSkipper: elided ticks of an
+// un-finished core would each have counted a cycle (and a spin cycle
+// while a barrier polls an unsatisfied predicate).
+func (c *Core) SkipCycles(from, to sim.Cycle) {
+	if c.Done() {
+		return
+	}
+	n := float64(to - from - 1)
+	c.cCycles.Add(n)
+	if c.spinningBarrier() {
+		c.cSpin.Add(n)
+	}
 }
 
 // retire removes completed ops in order, up to Width instruction
@@ -135,7 +262,7 @@ func (c *Core) retire() {
 		}
 		budget -= w
 		c.robUsed -= w
-		c.stats.Add(c.prefix+"instructions", float64(w))
+		c.cInstr.Add(float64(w))
 		e.wakers = e.wakers[:0]
 		c.head++
 	}
@@ -153,8 +280,8 @@ func (c *Core) fetch() {
 			return
 		}
 		var op MicroOp
-		if c.pending != nil {
-			op = *c.pending
+		if c.hasPending {
+			op = c.pending
 		} else {
 			var ok bool
 			op, ok = c.stream.Next()
@@ -166,11 +293,11 @@ func (c *Core) fetch() {
 		w := op.weight()
 		if c.robUsed+w > c.cfg.ROB {
 			// No space: hold the op until retirement frees room.
-			held := op
-			c.pending = &held
+			c.pending = op
+			c.hasPending = true
 			return
 		}
-		c.pending = nil
+		c.hasPending = false
 		budget -= w
 		seq := c.tail
 		c.tail++
@@ -206,14 +333,11 @@ func (c *Core) makeReady(seq uint64) {
 		// Keep the memory queue ordered by age so that an Atomic at
 		// the front fences only *younger* operations; an older op
 		// becoming ready later must slot in before it.
-		c.readyMem = append(c.readyMem, seq)
-		for i := len(c.readyMem) - 1; i > 0 && c.readyMem[i] < c.readyMem[i-1]; i-- {
-			c.readyMem[i], c.readyMem[i-1] = c.readyMem[i-1], c.readyMem[i]
-		}
+		c.readyMem.pushOrdered(seq)
 	case Barrier:
 		// Handled at the window head by issueBarrier.
 	default:
-		c.readyALU = append(c.readyALU, seq)
+		c.readyALU.push(seq)
 	}
 }
 
@@ -244,16 +368,15 @@ func (c *Core) issueBarrier() {
 	if e.op.Ready == nil || e.op.Ready() {
 		c.complete(c.head)
 	} else {
-		c.stats.Inc(c.prefix + "spin_cycles")
+		c.cSpin.Inc()
 	}
 }
 
 // issueALU executes up to Width ready ALU/Effect ops.
 func (c *Core) issueALU(now sim.Cycle) {
 	budget := c.cfg.Width
-	for budget > 0 && len(c.readyALU) > 0 {
-		seq := c.readyALU[0]
-		c.readyALU = c.readyALU[1:]
+	for budget > 0 && c.readyALU.len() > 0 {
+		seq := c.readyALU.pop()
 		e := c.at(seq)
 		budget--
 		e.state = stIssued
@@ -273,8 +396,8 @@ func (c *Core) issueALU(now sim.Cycle) {
 // respecting LQ/SQ capacity and atomic fencing.
 func (c *Core) issueMem(now sim.Cycle) {
 	budget := c.cfg.MemPorts
-	for budget > 0 && len(c.readyMem) > 0 && !c.atomicPending {
-		seq := c.readyMem[0]
+	for budget > 0 && c.readyMem.len() > 0 && !c.atomicPending {
+		seq := c.readyMem.peek()
 		e := c.at(seq)
 		switch e.op.Kind {
 		case Load:
@@ -292,7 +415,7 @@ func (c *Core) issueMem(now sim.Cycle) {
 			}
 			c.lqUsed++
 			c.inflight++
-			c.stats.Inc(c.prefix + "loads")
+			c.cLoads.Inc()
 		case Store:
 			if c.sqUsed >= c.cfg.SQ {
 				return
@@ -306,7 +429,7 @@ func (c *Core) issueMem(now sim.Cycle) {
 			}
 			c.sqUsed++
 			c.inflight++
-			c.stats.Inc(c.prefix + "stores")
+			c.cStores.Inc()
 			// Stores complete architecturally at issue (store buffer).
 			c.complete(seq)
 		case Atomic:
@@ -328,12 +451,12 @@ func (c *Core) issueMem(now sim.Cycle) {
 			}
 			c.atomicPending = true
 			c.inflight++
-			c.stats.Inc(c.prefix + "atomics")
+			c.cAtomic.Inc()
 		}
 		if e.state != stDone {
 			e.state = stIssued
 		}
-		c.readyMem = c.readyMem[1:]
+		c.readyMem.pop()
 		budget--
 	}
 }

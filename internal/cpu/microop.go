@@ -52,7 +52,11 @@ type MicroOp struct {
 	// adds that much to the instruction count, letting a single µop
 	// model a short burst of trivial instructions.
 	Weight uint16
-	// Ready gates a Barrier op.
+	// Ready gates a Barrier op. It must be a pure predicate over
+	// simulator state — no side effects and no dependence on how often
+	// it is called — because the core also evaluates it from NextWake
+	// and SkipCycles while deciding whether a spinning barrier can be
+	// fast-forwarded.
 	Ready func() bool
 	// Emit runs when an Effect op executes.
 	Emit func(now sim.Cycle)

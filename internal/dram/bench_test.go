@@ -1,0 +1,40 @@
+package dram
+
+import (
+	"testing"
+
+	"dx100/internal/memspace"
+	"dx100/internal/sim"
+)
+
+// BenchmarkDRAMTick measures the memory system under sustained load:
+// the engine steps while a pointer-chase-like address stream keeps
+// every channel's request buffer topped up, so each DRAM edge runs the
+// full FR-FCFS scan. Reported per simulated CPU cycle.
+func BenchmarkDRAMTick(b *testing.B) {
+	eng := sim.NewEngine()
+	sys := NewSystem(eng, DDR4_3200(), sim.NewStats(), "dram.")
+	var addr uint64
+	next := func() memspace.PAddr {
+		// Golden-ratio stride scatters rows, banks and channels.
+		addr += 0x9E3779B97F4A7C15
+		return memspace.PAddr(addr % (1 << 32) &^ (memspace.LineSize - 1))
+	}
+	inflight := 0
+	var submit func()
+	submit = func() {
+		for inflight < 64 {
+			r := &Request{Addr: next(), Kind: Read, OnDone: func(sim.Cycle) { inflight-- }}
+			if !sys.Submit(r) {
+				return
+			}
+			inflight++
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submit()
+		eng.Step()
+	}
+}

@@ -20,6 +20,14 @@ type channel struct {
 	queue []*Request
 	seq   uint64
 
+	// hintMin caches earliestAction: the smallest DRAM cycle at which
+	// this channel could issue any command or refresh, valid while no
+	// state changes (every enqueue/issue/remove/refresh invalidates
+	// it). Command legality is monotone in time over frozen state, so
+	// the cached absolute threshold stays correct until invalidated.
+	hintMin   uint64
+	hintValid bool
+
 	// CAS-to-CAS trackers: a new CAS must respect tCCD_L within its
 	// bank group and tCCD_S across the channel.
 	nextCASAny   uint64
@@ -61,6 +69,7 @@ func (ch *channel) maybeRefresh(dc uint64) bool {
 		return false
 	}
 	if dc >= ch.nextRefresh {
+		ch.hintValid = false
 		ch.refreshes++
 		end := dc + uint64(ch.p.TRFC)
 		for i := range ch.banks {
@@ -82,6 +91,7 @@ func (ch *channel) enqueue(r *Request) {
 	ch.seq++
 	r.seq = ch.seq
 	ch.queue = append(ch.queue, r)
+	ch.hintValid = false
 }
 
 func (ch *channel) bankOf(c Coord) *bank { return &ch.banks[c.Slice(ch.p)] }
@@ -126,6 +136,7 @@ func (ch *channel) actReady(r *Request, dc uint64) bool {
 func (ch *channel) issueCAS(r *Request, dc uint64) (doneAt uint64) {
 	b := ch.bankOf(r.coord)
 	bg := ch.bgOf(r.coord)
+	ch.hintValid = false
 	ch.nextCASAny = dc + uint64(ch.p.TCCDS)
 	ch.nextCASPerBG[bg] = dc + uint64(ch.p.TCCDL)
 	if r.Kind == Read {
@@ -148,6 +159,7 @@ func (ch *channel) issueCAS(r *Request, dc uint64) (doneAt uint64) {
 func (ch *channel) issueACT(r *Request, dc uint64) {
 	b := ch.bankOf(r.coord)
 	bg := ch.bgOf(r.coord)
+	ch.hintValid = false
 	b.openRow = r.coord.Row
 	b.nextRead = dc + uint64(ch.p.TRCD)
 	b.nextWrite = dc + uint64(ch.p.TRCD)
@@ -166,6 +178,7 @@ func (ch *channel) issuePRE(r *Request, dc uint64) {
 	b := ch.bankOf(r.coord)
 	b.openRow = -1
 	b.nextAct = max64(b.nextAct, dc+uint64(ch.p.TRP))
+	ch.hintValid = false
 }
 
 // hasPendingHit reports whether any queued request targets the
@@ -189,9 +202,70 @@ func (ch *channel) remove(r *Request) {
 	for i, q := range ch.queue {
 		if q == r {
 			ch.queue = append(ch.queue[:i], ch.queue[i+1:]...)
+			ch.hintValid = false
 			return
 		}
 	}
+}
+
+// casReadyAt returns the earliest DRAM cycle at which r's column
+// command becomes legal, assuming its row is (and stays) open. The
+// trackers are frozen between commands, so the bound is exact.
+func (ch *channel) casReadyAt(r *Request) uint64 {
+	b := ch.bankOf(r.coord)
+	at := max64(ch.nextCASAny, ch.nextCASPerBG[ch.bgOf(r.coord)])
+	if r.Kind == Read {
+		return max64(at, max64(b.nextRead, ch.nextReadOK))
+	}
+	return max64(at, max64(b.nextWrite, ch.nextWriteOK))
+}
+
+// actReadyAt returns the earliest DRAM cycle at which an ACT to r's
+// bank becomes legal, assuming the bank is (and stays) precharged.
+func (ch *channel) actReadyAt(r *Request) uint64 {
+	b := ch.bankOf(r.coord)
+	at := max64(b.nextAct, max64(ch.nextACTAny, ch.nextACTPerBG[ch.bgOf(r.coord)]))
+	if ch.actCount >= len(ch.actWindow) {
+		at = max64(at, ch.actWindow[ch.actWindowPos]+uint64(ch.p.TFAW))
+	}
+	return at
+}
+
+// earliestAction returns the smallest DRAM cycle at which tickChannel
+// would do anything on frozen state: fire the refresh, or issue a CAS,
+// PRE or ACT for some queued request. Requests blocked behind pending
+// row hits contribute nothing — the hitting request's own CAS bound
+// covers the wake. The refresh deadline bounds the result whenever
+// refresh is enabled, so no jump can overshoot a refresh. The result
+// is cached until the next state change.
+func (ch *channel) earliestAction() uint64 {
+	if ch.hintValid {
+		return ch.hintMin
+	}
+	min := uint64(1<<64 - 1)
+	if ch.p.TREFI != 0 {
+		min = ch.nextRefresh
+	}
+	for _, r := range ch.queue {
+		b := ch.bankOf(r.coord)
+		var at uint64
+		switch {
+		case b.openRow == r.coord.Row:
+			at = ch.casReadyAt(r)
+		case b.openRow != -1:
+			if ch.hasPendingHit(r) {
+				continue
+			}
+			at = b.nextPre
+		default:
+			at = ch.actReadyAt(r)
+		}
+		if at < min {
+			min = at
+		}
+	}
+	ch.hintMin, ch.hintValid = min, true
+	return min
 }
 
 func max64(a, b uint64) uint64 {

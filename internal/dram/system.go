@@ -18,6 +18,20 @@ type System struct {
 	prefix string
 	chans  []*channel
 
+	// Per-DRAM-cycle counter handles, resolved once so the tick loop
+	// does no string concatenation or map lookups.
+	cCycles    *sim.Counter
+	cOccupancy *sim.Counter
+	cRefreshes *sim.Counter
+	cPre       *sim.Counter
+	cAct       *sim.Counter
+	cRowHits   *sim.Counter
+	cRowMiss   *sim.Counter
+	cRowConfl  *sim.Counter
+	cReads     *sim.Counter
+	cWrites    *sim.Counter
+	cBytes     *sim.Counter
+
 	// Trace, when non-nil, is invoked for every issued DRAM command
 	// with the DRAM cycle it issued at. The property tests use it to
 	// check the JEDEC timing invariants directly; it is not called on
@@ -51,6 +65,17 @@ func (c Cmd) String() string {
 // "dram.").
 func NewSystem(eng *sim.Engine, p Params, stats *sim.Stats, prefix string) *System {
 	s := &System{p: p, m: NewMapper(p), eng: eng, stats: stats, prefix: prefix}
+	s.cCycles = stats.Counter(prefix + "cycles")
+	s.cOccupancy = stats.Counter(prefix + "occupancy_sum")
+	s.cRefreshes = stats.Counter(prefix + "refreshes")
+	s.cPre = stats.Counter(prefix + "pre")
+	s.cAct = stats.Counter(prefix + "act")
+	s.cRowHits = stats.Counter(prefix + "rowhits")
+	s.cRowMiss = stats.Counter(prefix + "rowmisses")
+	s.cRowConfl = stats.Counter(prefix + "rowconflicts")
+	s.cReads = stats.Counter(prefix + "reads")
+	s.cWrites = stats.Counter(prefix + "writes")
+	s.cBytes = stats.Counter(prefix + "bytes")
 	for i := 0; i < p.Channels; i++ {
 		ch := newChannel(p)
 		ch.idx = i
@@ -98,12 +123,60 @@ func (s *System) Tick(now sim.Cycle) bool {
 		return s.busy()
 	}
 	dc := uint64(now) / uint64(s.p.ClkDiv)
-	s.stats.Inc(s.prefix + "cycles")
+	s.cCycles.Inc()
 	for _, ch := range s.chans {
-		s.stats.Add(s.prefix+"occupancy_sum", float64(len(ch.queue)))
+		s.cOccupancy.Add(float64(len(ch.queue)))
 		s.tickChannel(ch, dc, now)
 	}
 	return s.busy()
+}
+
+// NextWake implements sim.WakeHinter: the earliest CPU cycle at which
+// any channel could issue a command or refresh. Between now and that
+// cycle every DRAM tick is provably inert (SkipCycles accounts its
+// statistics), because command legality over frozen state is monotone
+// in time and the per-channel thresholds are exact. The refresh
+// deadline always bounds the result, so a jump can never overshoot a
+// scheduled refresh.
+func (s *System) NextWake(now sim.Cycle) (sim.Cycle, bool) {
+	minDC := uint64(1<<64 - 1)
+	for _, ch := range s.chans {
+		if at := ch.earliestAction(); at < minDC {
+			minDC = at
+		}
+	}
+	if minDC == 1<<64-1 {
+		return sim.NeverWake, true
+	}
+	// The DRAM system acts only on clock edges (CPU cycles that are
+	// multiples of ClkDiv); the first edge at or after threshold minDC
+	// that lies strictly in the future is the wake.
+	div := uint64(s.p.ClkDiv)
+	nextEdgeDC := uint64(now)/div + 1
+	if minDC < nextEdgeDC {
+		minDC = nextEdgeDC
+	}
+	return sim.Cycle(minDC * div), true
+}
+
+// SkipCycles implements sim.CycleSkipper: it bulk-accounts the
+// per-DRAM-cycle statistics (cycle count and request-buffer occupancy
+// integral) for the clock edges strictly inside the skipped range.
+// Queue contents are frozen across a jump, so n edges contribute
+// exactly n*len(queue) occupancy — bit-identical to n unit additions
+// while the counters hold integers below 2^53.
+func (s *System) SkipCycles(from, to sim.Cycle) {
+	div := uint64(s.p.ClkDiv)
+	edges := (uint64(to)-1)/div - uint64(from)/div
+	if edges == 0 {
+		return
+	}
+	s.cCycles.Add(float64(edges))
+	for _, ch := range s.chans {
+		// Add even when the queue is empty: a zero Add still marks the
+		// counter as touched, exactly as the elided Ticks would have.
+		s.cOccupancy.Add(float64(edges) * float64(len(ch.queue)))
+	}
 }
 
 func (s *System) busy() bool {
@@ -118,7 +191,7 @@ func (s *System) busy() bool {
 // tickChannel issues at most one command on ch at DRAM cycle dc.
 func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 	if ch.maybeRefresh(dc) {
-		s.stats.Inc(s.prefix + "refreshes")
+		s.cRefreshes.Inc()
 		if s.Trace != nil {
 			s.Trace(CmdRefresh, Coord{Channel: ch.idx}, dc)
 		}
@@ -145,7 +218,7 @@ func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 			if dc >= b.nextPre {
 				ch.issuePRE(r, dc)
 				r.requiredPre = true
-				s.stats.Inc(s.prefix + "pre")
+				s.cPre.Inc()
 				if s.Trace != nil {
 					s.Trace(CmdPre, r.coord, dc)
 				}
@@ -156,7 +229,7 @@ func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 		if ch.actReady(r, dc) {
 			ch.issueACT(r, dc)
 			r.requiredAct = true
-			s.stats.Inc(s.prefix + "act")
+			s.cAct.Inc()
 			if s.Trace != nil {
 				s.Trace(CmdAct, r.coord, dc)
 			}
@@ -179,18 +252,18 @@ func (s *System) completeCAS(ch *channel, r *Request, dc uint64, now sim.Cycle) 
 	}
 	switch {
 	case !r.requiredAct:
-		s.stats.Inc(s.prefix + "rowhits")
+		s.cRowHits.Inc()
 	case r.requiredPre:
-		s.stats.Inc(s.prefix + "rowconflicts")
+		s.cRowConfl.Inc()
 	default:
-		s.stats.Inc(s.prefix + "rowmisses")
+		s.cRowMiss.Inc()
 	}
 	if r.Kind == Read {
-		s.stats.Inc(s.prefix + "reads")
+		s.cReads.Inc()
 	} else {
-		s.stats.Inc(s.prefix + "writes")
+		s.cWrites.Inc()
 	}
-	s.stats.Add(s.prefix+"bytes", memspace.LineSize)
+	s.cBytes.Add(memspace.LineSize)
 	if r.OnDone != nil {
 		cpuDone := sim.Cycle(doneAt * uint64(s.p.ClkDiv))
 		if cpuDone <= now {

@@ -60,13 +60,17 @@ type inflight struct {
 	outstanding int
 
 	// Indirect unit state.
-	rt         *RowTable
-	fill       int
-	inserted   int
-	responded  int
-	draining   bool
+	rt        *RowTable
+	fill      int
+	inserted  int
+	responded int
+	draining  bool
+	// holding and writeQueue drain head-first; the head indices avoid
+	// reslicing so the backing arrays are reused once empty.
 	holding    []ColumnReq
+	holdHead   int
 	writeQueue []*dram.Request
+	wqHead     int
 	writesPend int
 	stallUntil sim.Cycle
 	snapIns    int // rt counter snapshots at dispatch
@@ -96,9 +100,20 @@ type Accel struct {
 	// previous one (§3.5: fine-grained coordination between stages).
 	rts [2]*RowTable
 
+	// queue dispatches head-first; qHead avoids reslicing.
 	queue []*inflight
+	qHead int
 	units [numUnits]*inflight
 	indQ  []*inflight // indirect unit: up to two staged instructions
+
+	cInstrs     *sim.Counter
+	cSnoops     *sim.Counter
+	cSnoopHits  *sim.Counter
+	cWords      *sim.Counter
+	cStreamLn   *sim.Counter
+	cReqLLC     *sim.Counter
+	cReqDirect  *sim.Counter
+	cWritebacks *sim.Counter
 
 	tileRefs   []int // outstanding references per tile: ready bit == 0 refs
 	tileUse    []int // in-flight (dispatched) uses, for the scoreboard
@@ -174,6 +189,14 @@ func New(eng *sim.Engine, cfg Config, space *memspace.Space, mem *dram.System, l
 	spdBytes := uint64(cfg.Machine.Tiles) * uint64(cfg.Machine.TileElems) * 8
 	a.spdRegion = space.Alloc(prefix+"spd", spdBytes)
 	a.spdPABase = space.Translate(a.spdRegion.Base)
+	a.cInstrs = stats.Counter(prefix + "instructions")
+	a.cSnoops = stats.Counter(prefix + "snoops")
+	a.cSnoopHits = stats.Counter(prefix + "snoop_hits")
+	a.cWords = stats.Counter(prefix + "words")
+	a.cStreamLn = stats.Counter(prefix + "stream.lines")
+	a.cReqLLC = stats.Counter(prefix + "req.llc")
+	a.cReqDirect = stats.Counter(prefix + "req.direct")
+	a.cWritebacks = stats.Counter(prefix + "writebacks")
 	eng.Register(a)
 	return a
 }
@@ -210,7 +233,7 @@ func (a *Accel) TileReady(t uint8) bool { return a.tileRefs[t] == 0 }
 
 // QueueLen returns the number of received, undispatched instructions —
 // the credit signal host drivers use for flow control.
-func (a *Accel) QueueLen() int { return len(a.queue) }
+func (a *Accel) QueueLen() int { return len(a.queue) - a.qHead }
 
 // RetiredInstrs returns the count of fully completed instructions.
 func (a *Accel) RetiredInstrs() int { return a.retired }
@@ -218,7 +241,7 @@ func (a *Accel) RetiredInstrs() int { return a.retired }
 // Idle reports whether the accelerator has no queued or executing
 // instructions.
 func (a *Accel) Idle() bool {
-	if len(a.queue) > 0 || len(a.indQ) > 0 {
+	if a.QueueLen() > 0 || len(a.indQ) > 0 {
 		return false
 	}
 	for _, u := range a.units {
@@ -246,33 +269,36 @@ func (a *Accel) freeRowTable() *RowTable {
 	return nil
 }
 
-// operandTiles lists the tile operands of an instruction: destinations
-// first, then sources, then the condition tile.
-func operandTiles(in Instr) (dests, srcs []uint8) {
+// operandTiles lists the tile operands of an instruction into
+// fixed-size arrays (destinations, then sources, then the condition
+// tile) so callers on per-cycle paths do not allocate. dests[:nd] and
+// srcs[:ns] are the valid prefixes.
+func operandTiles(in Instr) (dests [2]uint8, nd int, srcs [3]uint8, ns int) {
 	switch in.Op {
 	case SLD:
-		dests = []uint8{in.TD}
+		dests[0], nd = in.TD, 1
 	case SST:
-		srcs = []uint8{in.TS1}
+		srcs[0], ns = in.TS1, 1
 	case ILD:
-		dests = []uint8{in.TD}
-		srcs = []uint8{in.TS1}
+		dests[0], nd = in.TD, 1
+		srcs[0], ns = in.TS1, 1
 	case IST, IRMW:
-		srcs = []uint8{in.TS1, in.TS2}
+		srcs[0], srcs[1], ns = in.TS1, in.TS2, 2
 	case ALUV:
-		dests = []uint8{in.TD}
-		srcs = []uint8{in.TS1, in.TS2}
+		dests[0], nd = in.TD, 1
+		srcs[0], srcs[1], ns = in.TS1, in.TS2, 2
 	case ALUS:
-		dests = []uint8{in.TD}
-		srcs = []uint8{in.TS1}
+		dests[0], nd = in.TD, 1
+		srcs[0], ns = in.TS1, 1
 	case RNG:
-		dests = []uint8{in.TD, in.TD2}
-		srcs = []uint8{in.TS1, in.TS2}
+		dests[0], dests[1], nd = in.TD, in.TD2, 2
+		srcs[0], srcs[1], ns = in.TS1, in.TS2, 2
 	}
 	if in.TC != NoTile {
-		srcs = append(srcs, in.TC)
+		srcs[ns] = in.TC
+		ns++
 	}
-	return dests, srcs
+	return dests, nd, srcs, ns
 }
 
 // Send enqueues an instruction, as transmitted by a core's three
@@ -283,15 +309,15 @@ func (a *Accel) Send(ins Instr) error {
 		return err
 	}
 	fl := &inflight{ins: ins, regs: [3]uint64{a.m.Reg(ins.RS1), a.m.Reg(ins.RS2), a.m.Reg(ins.RS3)}}
-	dests, srcs := operandTiles(ins)
-	for _, t := range dests {
+	dests, nd, srcs, ns := operandTiles(ins)
+	for _, t := range dests[:nd] {
 		a.tileRefs[t]++
 	}
-	for _, t := range srcs {
+	for _, t := range srcs[:ns] {
 		a.tileRefs[t]++
 	}
 	a.queue = append(a.queue, fl)
-	a.stats.Inc(a.prefix + "instructions")
+	a.cInstrs.Inc()
 	return nil
 }
 
@@ -305,13 +331,13 @@ func (a *Accel) SetReg(r uint8, v uint64) { a.m.SetReg(r, v) }
 // (fine-grained chaining via finish bits). Condition tiles and RNG
 // sources require completed producers.
 func (a *Accel) scoreboardOK(in Instr) bool {
-	dests, srcs := operandTiles(in)
-	for _, t := range dests {
+	dests, nd, srcs, ns := operandTiles(in)
+	for _, t := range dests[:nd] {
 		if a.tileUse[t] != 0 {
 			return false
 		}
 	}
-	for _, t := range srcs {
+	for _, t := range srcs[:ns] {
 		w := a.tileWriter[t]
 		if w == nil {
 			continue
@@ -336,6 +362,125 @@ func (a *Accel) Tick(now sim.Cycle) bool {
 		}
 	}
 	return !a.Idle()
+}
+
+// stallWake returns the cycle a stalled instruction resumes at, when
+// that lies in the future (dispatch latency, directory transfer, TLB
+// miss). Until then its unit does nothing.
+func stallWake(fl *inflight, now sim.Cycle) (sim.Cycle, bool) {
+	w := fl.startAt
+	if fl.stallUntil > w {
+		w = fl.stallUntil
+	}
+	if w > now {
+		return w, true
+	}
+	return 0, false
+}
+
+// NextWake implements sim.WakeHinter: the minimum over the wake bounds
+// of the dispatch stage and every active unit. Hints of now+1 mark
+// states where the next tick could mutate something — issue a request
+// (LLC ports recover by pure passage of time), advance a compute lane,
+// count a Row Table fill stall, or retire. States waiting purely on
+// responses return NeverWake: the completions arrive as scheduled
+// events, and back-pressure from the DRAM request buffers clears only
+// when the DRAM system acts, which its own hint bounds.
+func (a *Accel) NextWake(now sim.Cycle) (sim.Cycle, bool) {
+	if a.Idle() {
+		return sim.NeverWake, true
+	}
+	if a.canDispatchHead() {
+		return now + 1, true
+	}
+	wake := sim.NeverWake
+	min := func(w sim.Cycle) bool {
+		if w <= now+1 {
+			return true
+		}
+		if w < wake {
+			wake = w
+		}
+		return false
+	}
+	if fl := a.units[uStream]; fl != nil {
+		if min(a.streamWake(fl, now)) {
+			return now + 1, true
+		}
+	}
+	if fl := a.units[uALU]; fl != nil {
+		if min(a.computeWake(fl, now)) {
+			return now + 1, true
+		}
+	}
+	if fl := a.units[uRange]; fl != nil {
+		if min(a.computeWake(fl, now)) {
+			return now + 1, true
+		}
+	}
+	for i, fl := range a.indQ {
+		if min(a.indirectWake(fl, now, i == 0)) {
+			return now + 1, true
+		}
+	}
+	return wake, true
+}
+
+// streamWake bounds the stream unit's next action.
+func (a *Accel) streamWake(fl *inflight, now sim.Cycle) sim.Cycle {
+	if w, stalled := stallWake(fl, now); stalled {
+		return w
+	}
+	if fl.linesIssued == len(fl.linePA) {
+		if fl.linesDone == len(fl.linePA) {
+			return now + 1 // retires on the next tick
+		}
+		return sim.NeverWake // responses arrive as events
+	}
+	if fl.outstanding >= a.cfg.ReqTable {
+		return sim.NeverWake // a response event frees a request slot
+	}
+	if fl.ins.Op == SST && fl.lineElemEnd[fl.linesIssued] > a.srcLimit(fl) {
+		return sim.NeverWake // chained producer's own hint covers it
+	}
+	return now + 1 // will attempt an LLC access
+}
+
+// computeWake bounds the ALU / Range Fuser's next action.
+func (a *Accel) computeWake(fl *inflight, now sim.Cycle) sim.Cycle {
+	if w, stalled := stallWake(fl, now); stalled {
+		return w
+	}
+	if fl.progress < a.srcLimit(fl) || fl.progress >= fl.n {
+		return now + 1
+	}
+	return sim.NeverWake // caught up with a chained producer
+}
+
+// indirectWake bounds one staged indirect instruction's next action.
+// The fill stage must pin the clock whenever an insert is attemptable,
+// because even a failing insert counts a Row Table stall.
+func (a *Accel) indirectWake(fl *inflight, now sim.Cycle, isHead bool) sim.Cycle {
+	if w, stalled := stallWake(fl, now); stalled {
+		return w
+	}
+	if fl.fill < fl.n && fl.fill < a.srcLimit(fl) {
+		return now + 1
+	}
+	if isHead {
+		if a.indirectDone(fl) {
+			return now + 1 // retires on the next tick
+		}
+		threshold := int(a.cfg.DrainFrac * float64(a.cfg.Machine.TileElems))
+		engaged := fl.draining || fl.fill >= fl.n || fl.rt.Pending() >= threshold
+		if engaged && (fl.holdHead < len(fl.holding) || fl.rt.Pending() > 0) {
+			return now + 1 // request stage has columns to (re)issue
+		}
+		// Queued write-backs retry silently against the DRAM request
+		// buffers; the slot they wait for frees only when a channel
+		// issues a command, which the DRAM hint bounds.
+	}
+	return sim.NeverWake
 }
 
 // stepIndirectQueue advances the staged indirect instructions: the
@@ -367,22 +512,36 @@ func (a *Accel) stepIndirectQueue(now sim.Cycle) {
 }
 
 func (a *Accel) tryDispatch(now sim.Cycle) {
-	for len(a.queue) > 0 {
-		fl := a.queue[0]
-		u := unitOf(fl.ins.Op)
-		if u == uIndirect {
-			if len(a.indQ) >= 2 || a.freeRowTable() == nil {
-				return
-			}
-		} else if a.units[u] != nil {
-			return // in-order dispatch: the head blocks
+	for a.canDispatchHead() {
+		fl := a.queue[a.qHead]
+		a.queue[a.qHead] = nil
+		a.qHead++
+		if a.qHead == len(a.queue) {
+			a.queue = a.queue[:0]
+			a.qHead = 0
 		}
-		if !a.scoreboardOK(fl.ins) {
-			return
-		}
-		a.queue = a.queue[1:]
 		a.dispatch(fl, now)
 	}
+}
+
+// canDispatchHead reports whether the oldest queued instruction could
+// dispatch this cycle: its unit is free (or an indirect slot and Row
+// Table are available) and the tile scoreboard allows it. It is pure,
+// so NextWake shares it with tryDispatch.
+func (a *Accel) canDispatchHead() bool {
+	if a.QueueLen() == 0 {
+		return false
+	}
+	fl := a.queue[a.qHead]
+	u := unitOf(fl.ins.Op)
+	if u == uIndirect {
+		if len(a.indQ) >= 2 || a.freeRowTable() == nil {
+			return false
+		}
+	} else if a.units[u] != nil {
+		return false // in-order dispatch: the head blocks
+	}
+	return a.scoreboardOK(fl.ins)
 }
 
 // dispatch executes the instruction functionally (§5: the timing model
@@ -397,12 +556,12 @@ func (a *Accel) dispatch(fl *inflight, now sim.Cycle) {
 	if err := a.m.Exec(ins); err != nil {
 		panic(fmt.Sprintf("dx100: functional execution of dispatched instruction failed: %v", err))
 	}
-	dests, srcs := operandTiles(ins)
-	for _, t := range dests {
+	dests, nd, srcs, ns := operandTiles(ins)
+	for _, t := range dests[:nd] {
 		a.tileUse[t]++
 		a.tileWriter[t] = fl
 	}
-	for _, t := range srcs {
+	for _, t := range srcs[:ns] {
 		a.tileUse[t]++
 	}
 	fl.startAt = now + a.cfg.DispatchLat
@@ -436,15 +595,15 @@ func (a *Accel) dispatch(fl *inflight, now sim.Cycle) {
 
 // retire releases the instruction's operands and frees its unit.
 func (a *Accel) retire(u unit, fl *inflight) {
-	dests, srcs := operandTiles(fl.ins)
-	for _, t := range dests {
+	dests, nd, srcs, ns := operandTiles(fl.ins)
+	for _, t := range dests[:nd] {
 		a.tileUse[t]--
 		a.tileRefs[t]--
 		if a.tileWriter[t] == fl {
 			a.tileWriter[t] = nil
 		}
 	}
-	for _, t := range srcs {
+	for _, t := range srcs[:ns] {
 		a.tileUse[t]--
 		a.tileRefs[t]--
 	}
@@ -471,8 +630,8 @@ func (a *Accel) retire(u unit, fl *inflight) {
 // producers of the instruction's source tiles.
 func (a *Accel) srcLimit(fl *inflight) int {
 	limit := fl.n
-	_, srcs := operandTiles(fl.ins)
-	for _, t := range srcs {
+	_, _, srcs, ns := operandTiles(fl.ins)
+	for _, t := range srcs[:ns] {
 		if w := a.tileWriter[t]; w != nil && w != fl && w.progress < limit {
 			limit = w.progress
 		}

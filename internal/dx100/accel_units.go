@@ -74,7 +74,7 @@ func (a *Accel) stepStream(fl *inflight, now sim.Cycle) {
 		}
 		fl.outstanding++
 		fl.linesIssued++
-		a.stats.Inc(a.prefix + "stream.lines")
+		a.cStreamLn.Inc()
 	}
 	if fl.linesIssued == len(fl.linePA) && fl.linesDone == len(fl.linePA) {
 		fl.progress = fl.n
@@ -102,7 +102,7 @@ func (a *Accel) stepIndirectDrain(fl *inflight, now sim.Cycle) {
 // indirectDone reports whether the instruction's stages all drained.
 func (a *Accel) indirectDone(fl *inflight) bool {
 	return fl.fill >= fl.n && fl.responded == fl.inserted && fl.rt.Outstanding() == 0 &&
-		len(fl.holding) == 0 && len(fl.writeQueue) == 0 && fl.writesPend == 0
+		fl.holdHead == len(fl.holding) && fl.wqHead == len(fl.writeQueue) && fl.writesPend == 0
 }
 
 // indirectFill runs the fill stage: up to FillRate indices per cycle,
@@ -129,9 +129,9 @@ func (a *Accel) indirectFill(fl *inflight) {
 		la := memspace.LineAddr(pa)
 		snoop := func() bool {
 			h := a.snoop != nil && a.snoop.Present(la)
-			a.stats.Inc(a.prefix + "snoops")
+			a.cSnoops.Inc()
 			if h {
-				a.stats.Inc(a.prefix + "snoop_hits")
+				a.cSnoopHits.Inc()
 			}
 			return h
 		}
@@ -151,12 +151,16 @@ func (a *Accel) indirectFill(fl *inflight) {
 func (a *Accel) indirectRequest(fl *inflight, now sim.Cycle) {
 	for budget := a.cfg.ReqRate; budget > 0; budget-- {
 		var req ColumnReq
-		if len(fl.holding) > 0 {
-			req = fl.holding[0]
+		if fl.holdHead < len(fl.holding) {
+			req = fl.holding[fl.holdHead]
 			if !a.issueColumn(fl, req, now) {
 				return
 			}
-			fl.holding = fl.holding[1:]
+			fl.holdHead++
+			if fl.holdHead == len(fl.holding) {
+				fl.holding = fl.holding[:0]
+				fl.holdHead = 0
+			}
 			continue
 		}
 		r, ok := fl.rt.NextRequest()
@@ -185,7 +189,7 @@ func (a *Accel) issueColumn(fl *inflight, req ColumnReq, now sim.Cycle) bool {
 		if !a.llc.Access(now, pa, kind, func(n sim.Cycle) { a.respond(fl, req) }) {
 			return false
 		}
-		a.stats.Inc(a.prefix + "req.llc")
+		a.cReqLLC.Inc()
 		return true
 	}
 	// DRAM Interface: read the line directly from memory.
@@ -199,13 +203,13 @@ func (a *Accel) issueColumn(fl *inflight, req ColumnReq, now sim.Cycle) bool {
 			if !a.mem.Submit(w) {
 				fl.writeQueue = append(fl.writeQueue, w)
 			}
-			a.stats.Inc(a.prefix + "writebacks")
+			a.cWritebacks.Inc()
 		}
 	}}
 	if !a.mem.Submit(r) {
 		return false
 	}
-	a.stats.Inc(a.prefix + "req.direct")
+	a.cReqDirect.Inc()
 	return true
 }
 
@@ -214,16 +218,19 @@ func (a *Accel) issueColumn(fl *inflight, req ColumnReq, now sim.Cycle) bool {
 func (a *Accel) respond(fl *inflight, req ColumnReq) {
 	refs := fl.rt.Respond(req)
 	fl.responded += len(refs)
-	a.stats.Add(a.prefix+"words", float64(len(refs)))
+	a.cWords.Add(float64(len(refs)))
 }
 
 // flushWrites retries queued write-backs against freed channel-buffer
 // slots.
 func (a *Accel) flushWrites(fl *inflight) {
-	for len(fl.writeQueue) > 0 {
-		if !a.mem.Submit(fl.writeQueue[0]) {
+	for fl.wqHead < len(fl.writeQueue) {
+		if !a.mem.Submit(fl.writeQueue[fl.wqHead]) {
 			return
 		}
-		fl.writeQueue = fl.writeQueue[1:]
+		fl.writeQueue[fl.wqHead] = nil
+		fl.wqHead++
 	}
+	fl.writeQueue = fl.writeQueue[:0]
+	fl.wqHead = 0
 }

@@ -42,7 +42,23 @@ type SystemConfig struct {
 	// WarmLLC pre-loads every array line into the LLC and resets the
 	// statistics before measurement — the All-Hit setup of §6.1.
 	WarmLLC bool
+	// NoFastForward forces exact cycle-by-cycle stepping. Results are
+	// identical either way (the equivalence tests pin this); the switch
+	// exists for those tests and for debugging wake-hint bugs.
+	NoFastForward bool
 }
+
+// defaultNoFastForward is the package-wide stepping default baked into
+// every config Default produces; see SetNoFastForward.
+var defaultNoFastForward bool
+
+// SetNoFastForward sets the fast-forward default for all configs
+// subsequently built by Default — and therefore for every figure and
+// table run, whose configs are constructed internally. Results are
+// identical either way; the switch exists for debugging and for timing
+// the exact-stepping engine. Call it before launching runs: it is not
+// synchronized with the worker pool.
+func SetNoFastForward(off bool) { defaultNoFastForward = off }
 
 // Default returns the Table 3 system for the given mode: the baseline
 // and DMP get a 10 MB LLC; DX100 gets 8 MB plus the accelerator,
@@ -58,6 +74,8 @@ func Default(mode Mode) SystemConfig {
 		DMP:       prefetch.DefaultConfig(),
 		Instances: 1,
 		MaxCycles: 2_000_000_000,
+
+		NoFastForward: defaultNoFastForward,
 	}
 	if mode == DX {
 		cfg.LLCBytes = 8 << 20

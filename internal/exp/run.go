@@ -46,6 +46,7 @@ func build(inst *workloads.Instance, cfg SystemConfig) *system {
 	s := &system{cfg: cfg}
 	s.eng = sim.NewEngine()
 	s.eng.MaxCycles = cfg.MaxCycles
+	s.eng.DisableFastForward = cfg.NoFastForward
 	s.stats = sim.NewStats()
 	s.mem = dram.NewSystem(s.eng, cfg.DRAM, s.stats, "dram.")
 	hcfg := cache.SkylakeLike(cfg.Cores, cfg.LLCBytes)
@@ -138,40 +139,64 @@ func Run(name string, scale int, cfg SystemConfig) (Result, error) {
 	return RunInstance(b(scale), cfg)
 }
 
+// warmJob is one physical range the LLC warm-up streams through.
+type warmJob struct{ lo, hi memspace.PAddr }
+
+// warmTicker drives the §6.1 All-Hit warm-up. It is a named type
+// (not a TickerFunc) implementing WakeHinter because it stays
+// registered for the measured run that follows: an anonymous
+// non-hinting ticker would disable fast-forward for the whole run.
+type warmTicker struct {
+	llc         cache.Level
+	jobs        []warmJob
+	ji          int
+	cur         memspace.PAddr
+	outstanding int
+}
+
+// Tick streams lines through the LLC as fast as it accepts them.
+func (w *warmTicker) Tick(now sim.Cycle) bool {
+	for w.ji < len(w.jobs) {
+		if w.cur >= w.jobs[w.ji].hi {
+			w.ji++
+			if w.ji == len(w.jobs) {
+				break
+			}
+			w.cur = w.jobs[w.ji].lo
+			continue
+		}
+		w.outstanding++
+		if !w.llc.Access(now, w.cur, cache.Load, func(sim.Cycle) { w.outstanding-- }) {
+			w.outstanding--
+			break
+		}
+		w.cur += memspace.LineSize
+	}
+	return w.ji < len(w.jobs) || w.outstanding > 0
+}
+
+// NextWake implements sim.WakeHinter: while lines remain the ticker
+// retries the LLC every cycle; once they are all issued it only waits
+// on fill events, and after the warm-up it is permanently inert.
+func (w *warmTicker) NextWake(now sim.Cycle) (sim.Cycle, bool) {
+	if w.ji < len(w.jobs) {
+		return now + 1, true
+	}
+	return sim.NeverWake, true
+}
+
 // warmLLC touches every line of every allocated region through the
 // LLC, then resets the statistics (§6.1 All-Hit scenario).
 func (s *system) warmLLC(inst *workloads.Instance) error {
-	type job struct{ lo, hi memspace.PAddr }
-	var jobs []job
+	var jobs []warmJob
 	for _, r := range inst.Space.Regions() {
 		if strings.Contains(r.Name, "spd") {
 			continue // the scratchpad region is not cacheable data
 		}
 		lo := inst.Space.Translate(r.Base)
-		jobs = append(jobs, job{lo, lo + memspace.PAddr(r.Size)})
+		jobs = append(jobs, warmJob{lo, lo + memspace.PAddr(r.Size)})
 	}
-	ji := 0
-	cur := jobs[0].lo
-	outstanding := 0
-	s.eng.Register(sim.TickerFunc(func(now sim.Cycle) bool {
-		for ji < len(jobs) {
-			if cur >= jobs[ji].hi {
-				ji++
-				if ji == len(jobs) {
-					break
-				}
-				cur = jobs[ji].lo
-				continue
-			}
-			outstanding++
-			if !s.hier.LLC.Access(now, cur, cache.Load, func(sim.Cycle) { outstanding-- }) {
-				outstanding--
-				break
-			}
-			cur += memspace.LineSize
-		}
-		return ji < len(jobs) || outstanding > 0
-	}))
+	s.eng.Register(&warmTicker{llc: s.hier.LLC, jobs: jobs, cur: jobs[0].lo})
 	if _, err := s.eng.Run(nil); err != nil {
 		return err
 	}

@@ -20,7 +20,7 @@ func (s *Series) AddRow(cells ...string) {
 }
 
 // Note appends a trailing annotation (e.g. "geomean 2.6x").
-func (s *Series) Note(format string, args ...interface{}) {
+func (s *Series) Note(format string, args ...any) {
 	s.Notes = append(s.Notes, fmt.Sprintf(format, args...))
 }
 

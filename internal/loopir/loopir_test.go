@@ -16,13 +16,13 @@ type harness struct {
 	sp   *memspace.Space
 	m    *dx100.Machine
 	bind Binder
-	arrs map[string]interface{} // name -> memspace array
+	arrs map[string]any // name -> memspace array
 }
 
 func newHarness(t *testing.T, k *Kernel, init map[string][]uint64, tileElems int) *harness {
 	t.Helper()
 	h := &harness{k: k, env: NewEnv(k), sp: memspace.New(),
-		bind: Binder{Base: map[string]memspace.VAddr{}}, arrs: map[string]interface{}{}}
+		bind: Binder{Base: map[string]memspace.VAddr{}}, arrs: map[string]any{}}
 	h.m = dx100.NewMachine(h.sp, dx100.MachineConfig{Tiles: 32, TileElems: tileElems, Regs: 32})
 	for name, info := range k.Arrays {
 		vals := init[name]

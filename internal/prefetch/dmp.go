@@ -60,28 +60,29 @@ type DMP struct {
 	stats    *sim.Stats
 	prefix   string
 	// lastElem avoids re-triggering on every word of the same index
-	// element region.
-	lastElem map[int]int
+	// element region; indexed parallel to patterns.
+	lastElem []int
+	cIssued  *sim.Counter
 }
 
 // New builds a DMP observing `forward` and prefetching into `into`.
 func New(eng *sim.Engine, cfg Config, space *memspace.Space, forward, into cache.Level, stats *sim.Stats, prefix string) *DMP {
 	return &DMP{
-		cfg:      cfg,
-		space:    space,
-		forward:  forward,
-		into:     into,
-		eng:      eng,
-		stats:    stats,
-		prefix:   prefix,
-		lastElem: make(map[int]int),
+		cfg:     cfg,
+		space:   space,
+		forward: forward,
+		into:    into,
+		eng:     eng,
+		stats:   stats,
+		prefix:  prefix,
+		cIssued: stats.Counter(prefix + "issued"),
 	}
 }
 
 // Register adds an indirect pattern for the idealized detector.
 func (d *DMP) Register(p Pattern) {
 	d.patterns = append(d.patterns, p)
-	d.lastElem[len(d.patterns)-1] = -1
+	d.lastElem = append(d.lastElem, -1)
 }
 
 // Access implements cache.Level: it forwards to the wrapped level and
@@ -136,7 +137,7 @@ func (d *DMP) chase(now sim.Cycle, p *Pattern, i int) {
 	idx := d.space.ReadWord(idxVA, p.IndexSize)
 	tgtVA := p.TargetBase + memspace.VAddr(idx*uint64(p.TargetSize))
 	pa := d.space.Translate(tgtVA)
-	d.stats.Inc(d.prefix + "issued")
+	d.cIssued.Inc()
 	d.into.Access(now, pa, cache.Prefetch, nil)
 	if p.Next != nil {
 		// Multi-level chase after the first level would be ready; the

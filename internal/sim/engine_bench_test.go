@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+// BenchmarkSchedulePop measures the generic event heap: one Schedule
+// plus the eventual pop, in steady state. The -benchmem column is the
+// satellite's proof of zero allocations per operation.
+func BenchmarkSchedulePop(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 256; i++ {
+		e.Schedule(Cycle(1+i%64), nop)
+	}
+	for e.events.len() > 0 {
+		e.events.pop()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.now+Cycle(1+i%64), nop)
+		if e.events.len() >= 64 {
+			for e.events.len() > 0 {
+				e.events.pop()
+			}
+		}
+	}
+}
+
+// busyHinter is always busy and always declines the jump — the dense
+// regime, where every cycle is stepped.
+type busyHinter struct{ n uint64 }
+
+func (t *busyHinter) Tick(now Cycle) bool              { t.n++; return true }
+func (t *busyHinter) NextWake(now Cycle) (Cycle, bool) { return now + 1, true }
+
+// BenchmarkEngineStepDense measures the per-cycle cost when every
+// ticker has work: fast-forward never engages, so this is the price of
+// the hot loop itself.
+func BenchmarkEngineStepDense(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.Register(&busyHinter{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineStepSparse measures simulated-cycles-per-second when
+// tickers are idle in long stretches: each ticker acts every 1000
+// cycles and hints accordingly, so Run covers b.N cycles almost
+// entirely by jumping.
+func BenchmarkEngineStepSparse(b *testing.B) {
+	e := NewEngine()
+	s := &sparseTicker{period: 1000, limit: 1 << 62}
+	e.Register(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	target := e.now + Cycle(b.N)
+	if _, err := e.Run(func() bool { return e.now >= target }); err != nil {
+		b.Fatal(err)
+	}
+}

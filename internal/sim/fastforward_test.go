@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"testing"
+)
+
+// sparseTicker acts only on cycles that are multiples of period: it
+// counts an action and finishes after limit actions. It hints the next
+// multiple and accounts skipped cycles, so it exercises the full
+// fast-forward contract.
+type sparseTicker struct {
+	period  Cycle
+	limit   int
+	acted   int
+	cycles  uint64 // per-cycle statistic maintained while unfinished
+	skipped uint64
+}
+
+func (s *sparseTicker) Tick(now Cycle) bool {
+	if s.acted >= s.limit {
+		return false
+	}
+	s.cycles++
+	if uint64(now)%uint64(s.period) == 0 {
+		s.acted++
+	}
+	return s.acted < s.limit
+}
+
+func (s *sparseTicker) NextWake(now Cycle) (Cycle, bool) {
+	if s.acted >= s.limit {
+		return NeverWake, true
+	}
+	next := (uint64(now)/uint64(s.period) + 1) * uint64(s.period)
+	return Cycle(next), true
+}
+
+func (s *sparseTicker) SkipCycles(from, to Cycle) {
+	if s.acted >= s.limit {
+		return
+	}
+	n := uint64(to - from - 1)
+	s.cycles += n
+	s.skipped += n
+}
+
+func TestFastForwardMatchesCycleByCycle(t *testing.T) {
+	run := func(disable bool) (Cycle, *sparseTicker, *Engine) {
+		e := NewEngine()
+		e.DisableFastForward = disable
+		s := &sparseTicker{period: 100, limit: 7}
+		e.Register(s)
+		end, err := e.Run(nil)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return end, s, e
+	}
+	endFF, sFF, eFF := run(false)
+	endSlow, sSlow, _ := run(true)
+	if endFF != endSlow {
+		t.Fatalf("end cycle: ff=%d, slow=%d", endFF, endSlow)
+	}
+	if sFF.acted != sSlow.acted || sFF.cycles != sSlow.cycles {
+		t.Fatalf("stats diverge: ff acted=%d cycles=%d, slow acted=%d cycles=%d",
+			sFF.acted, sFF.cycles, sSlow.acted, sSlow.cycles)
+	}
+	jumps, skipped := eFF.FastForwarded()
+	if jumps == 0 || skipped == 0 {
+		t.Fatalf("fast-forward never engaged: jumps=%d skipped=%d", jumps, skipped)
+	}
+	if sFF.skipped != skipped {
+		t.Fatalf("SkipCycles saw %d cycles, engine skipped %d", sFF.skipped, skipped)
+	}
+}
+
+func TestFastForwardBoundedByEvents(t *testing.T) {
+	e := NewEngine()
+	s := &sparseTicker{period: 1000, limit: 2}
+	e.Register(s)
+	var fired Cycle
+	e.Schedule(41, func(now Cycle) { fired = now })
+	if _, err := e.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 41 {
+		t.Fatalf("event fired at %d, want 41 (jump overshot the heap head)", fired)
+	}
+}
+
+// staleHinter always hints a cycle in the past. The engine must treat
+// that as "may act next cycle": never jump, never stall, never move
+// the clock backwards.
+type staleHinter struct {
+	remaining int
+}
+
+func (s *staleHinter) Tick(now Cycle) bool {
+	if s.remaining > 0 {
+		s.remaining--
+	}
+	return s.remaining > 0
+}
+
+func (s *staleHinter) NextWake(now Cycle) (Cycle, bool) {
+	if now > 3 {
+		return now - 3, true // stale: strictly in the past
+	}
+	return 0, true
+}
+
+func TestStaleHintCannotStallOrSkipTime(t *testing.T) {
+	e := NewEngine()
+	e.MaxCycles = 1000 // backstop: a stall would trip this
+	tk := &staleHinter{remaining: 20}
+	e.Register(tk)
+	end, err := e.Run(nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 20 {
+		t.Fatalf("end = %d, want 20 (stale hints must fall back to stepping)", end)
+	}
+	if jumps, _ := e.FastForwarded(); jumps != 0 {
+		t.Fatalf("engine jumped %d times on stale hints", jumps)
+	}
+}
+
+func TestFastForwardRespectsMaxCycles(t *testing.T) {
+	run := func(disable bool) (Cycle, error) {
+		e := NewEngine()
+		e.MaxCycles = 500
+		e.DisableFastForward = disable
+		e.Register(&sparseTicker{period: 100000, limit: 1}) // hints far past the limit
+		return e.Run(nil)
+	}
+	endFF, errFF := run(false)
+	endSlow, errSlow := run(true)
+	if errFF == nil || errSlow == nil {
+		t.Fatalf("want cycle-limit errors, got ff=%v slow=%v", errFF, errSlow)
+	}
+	if endFF != endSlow {
+		t.Fatalf("limit hit at ff=%d, slow=%d — the jump overshot MaxCycles", endFF, endSlow)
+	}
+}
+
+func TestNonHintingTickerDisablesFastForward(t *testing.T) {
+	e := NewEngine()
+	e.Register(&sparseTicker{period: 50, limit: 3})
+	e.Register(TickerFunc(func(now Cycle) bool { return false })) // no WakeHinter
+	if _, err := e.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if jumps, _ := e.FastForwarded(); jumps != 0 {
+		t.Fatalf("engine jumped %d times with a non-hinting ticker registered", jumps)
+	}
+}
+
+// TestRunDoneSampledAtCycleBoundary pins Run's completion semantics:
+// done is sampled once per cycle, after that cycle's events have fired
+// AND every ticker has been stepped. A predicate satisfied by an event
+// (which fires before the ticks) must still see the full cycle's
+// ticks, and Run must return that same cycle.
+func TestRunDoneSampledAtCycleBoundary(t *testing.T) {
+	e := NewEngine()
+	tk := &countTicker{remaining: 1 << 30} // busy forever, counts its ticks
+	e.Register(tk)
+	finished := false
+	e.Schedule(5, func(Cycle) { finished = true })
+	end, err := e.Run(func() bool { return finished })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 5 {
+		t.Fatalf("Run returned at cycle %d, want 5", end)
+	}
+	if tk.ticks != 5 {
+		t.Fatalf("ticker stepped %d times, want 5: cycle 5 must be a full step even though done() became true in its event phase", tk.ticks)
+	}
+}
+
+// The generic event heap must not allocate once its backing slice has
+// reached the high-water mark: no interface boxing on push or pop.
+func TestSchedulePopZeroAllocsSteadyState(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 256; i++ { // grow the heap to its high-water mark
+		e.Schedule(Cycle(1000+i), nop)
+	}
+	for e.events.len() > 0 {
+		e.events.pop()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(e.now+Cycle(1+i%16), nop)
+		}
+		for e.events.len() > 0 {
+			e.events.pop()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Schedule/pop allocates %.2f objects per round in steady state, want 0", avg)
+	}
+}
+
+func nop(Cycle) {}

@@ -7,45 +7,97 @@ import (
 	"strings"
 )
 
+// Counter is one named statistic. Components on per-cycle paths hold a
+// *Counter obtained once from Stats.Counter and bump it directly —
+// no map lookup, no string concatenation, no allocation — while cold
+// paths keep using the string-keyed Stats methods. A counter is
+// "touched" once any Add/Inc/Set hits it; Names and String list only
+// touched counters, so handle-based and string-based usage render
+// identically (including across Reset, which un-touches every counter
+// while keeping handles valid).
+type Counter struct {
+	v       float64
+	touched bool
+}
+
+// Add increments the counter by v.
+func (c *Counter) Add(v float64) {
+	c.v += v
+	c.touched = true
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Set overwrites the counter.
+func (c *Counter) Set(v float64) {
+	c.v = v
+	c.touched = true
+}
+
+// Value returns the current value (zero when untouched).
+func (c *Counter) Value() float64 { return c.v }
+
 // Stats is a flat registry of named counters shared by the simulator
-// components. Components add to counters by name; the experiment
-// harness snapshots and formats them.
+// components. Components add to counters by name (or through *Counter
+// handles on hot paths); the experiment harness snapshots and formats
+// them.
 type Stats struct {
-	counters map[string]float64
+	counters map[string]*Counter
 }
 
 // NewStats returns an empty registry.
 func NewStats() *Stats {
-	return &Stats{counters: make(map[string]float64)}
+	return &Stats{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the handle for name, creating it (untouched) on
+// first use. Handles remain valid across Reset.
+func (s *Stats) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
 }
 
 // Add increments counter name by v.
 func (s *Stats) Add(name string, v float64) {
-	s.counters[name] += v
+	s.Counter(name).Add(v)
 }
 
 // Inc increments counter name by one.
 func (s *Stats) Inc(name string) { s.Add(name, 1) }
 
 // Set overwrites counter name.
-func (s *Stats) Set(name string, v float64) { s.counters[name] = v }
+func (s *Stats) Set(name string, v float64) { s.Counter(name).Set(v) }
 
-// Reset zeroes every counter (components keep their registry pointer,
-// so measurement can start after a warm-up phase).
+// Reset zeroes every counter (components keep their registry pointer
+// and their counter handles, so measurement can start after a warm-up
+// phase). Reset counters drop out of Names/String until touched again.
 func (s *Stats) Reset() {
-	for k := range s.counters {
-		delete(s.counters, k)
+	for _, c := range s.counters {
+		c.v = 0
+		c.touched = false
 	}
 }
 
 // Get returns counter name (zero if absent).
-func (s *Stats) Get(name string) float64 { return s.counters[name] }
+func (s *Stats) Get(name string) float64 {
+	if c, ok := s.counters[name]; ok {
+		return c.v
+	}
+	return 0
+}
 
-// Names returns all counter names in sorted order.
+// Names returns all touched counter names in sorted order.
 func (s *Stats) Names() []string {
 	names := make([]string, 0, len(s.counters))
-	for n := range s.counters {
-		names = append(names, n)
+	for n, c := range s.counters {
+		if c.touched {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -55,7 +107,7 @@ func (s *Stats) Names() []string {
 func (s *Stats) String() string {
 	var b strings.Builder
 	for _, n := range s.Names() {
-		fmt.Fprintf(&b, "%-40s %v\n", n, s.counters[n])
+		fmt.Fprintf(&b, "%-40s %v\n", n, s.counters[n].v)
 	}
 	return b.String()
 }
