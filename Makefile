@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench microbench profile examples figures clean
+.PHONY: all build test vet race bench microbench profile examples figures serve clean
 
 all: build test
 
@@ -47,6 +47,11 @@ examples:
 # Quick look at the headline result (Figure 9 on a subset).
 figures:
 	$(GO) run ./cmd/dx100sim -fig 9 -scale 4 -workloads IS,GZZ,XRAGE,PR
+
+# The experiment service with an on-disk result cache (see README
+# "Running as a service").
+serve:
+	$(GO) run ./cmd/dx100d -addr :8100 -cache .dx100-cache
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,87 @@
+// Command dx100d runs the DX100 experiment service: a long-running
+// daemon that accepts simulation jobs over HTTP, deduplicates and
+// caches them by content-addressed config hash, and streams progress.
+//
+// Usage:
+//
+//	dx100d                                  # serve on :8100, in-memory cache
+//	dx100d -addr :9000 -cache /var/dx100    # persistent result cache
+//	dx100d -workers 4 -queue 128 -timeout 30m
+//
+// Quick check once it is up:
+//
+//	curl -s localhost:8100/healthz
+//	curl -s -X POST localhost:8100/v1/runs \
+//	     -d '{"workload":"micro.gather","mode":"dx100","scale":1}'
+//	curl -s localhost:8100/v1/runs/<id>
+//	curl -N localhost:8100/v1/runs/<id>/events
+//	curl -s 'localhost:8100/v1/figures/9?scale=1&workloads=IS,GZZ'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dx100/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8100", "listen address")
+		workers    = flag.Int("workers", 2, "concurrent job executors")
+		queueDepth = flag.Int("queue", 64, "bounded job-queue depth (full submissions get 503)")
+		cacheDir   = flag.String("cache", "", "result cache directory (empty = in-memory only)")
+		timeout    = flag.Duration("timeout", 0, "per-job wall-clock budget (0 = none)")
+		figWorkers = flag.Int("figworkers", 0, "per-figure experiment pool width (0 = one per CPU)")
+		drain      = flag.Duration("drain", 2*time.Minute, "graceful-shutdown budget before in-flight jobs are canceled")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "dx100d: ", log.LstdFlags)
+
+	srv, err := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		JobTimeout: *timeout,
+		CacheDir:   *cacheDir,
+		FigWorkers: *figWorkers,
+		Log:        logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dx100d:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers %d, queue %d, cache %q)",
+			*addr, *workers, *queueDepth, *cacheDir)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "dx100d:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down: draining jobs (budget %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	httpSrv.Shutdown(shutdownCtx)
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "dx100d:", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

@@ -39,6 +39,7 @@ func main() {
 		names   = flag.String("workloads", "", "comma-separated workload subset for -fig")
 		jobs    = flag.Int("jobs", 0, "concurrent experiment runs (0 = one per CPU, 1 = serial)")
 		verbose = flag.Bool("v", false, "dump raw statistics after -run")
+		asJSON  = flag.Bool("json", false, "emit -run results as JSON (the dx100d wire form)")
 		noFF    = flag.Bool("noff", false, "disable idle-cycle fast-forward (exact stepping; results are identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -78,7 +79,7 @@ func main() {
 	case *table4:
 		printTable4()
 	case *run != "":
-		runOne(*run, *mode, *scale, *verbose)
+		runOne(*run, *mode, *scale, *verbose, *asJSON)
 	case *fig != "":
 		runFigure(*fig, *scale, subset(*names))
 	default:
@@ -128,21 +129,24 @@ func printTable4() {
 	fmt.Print(out)
 }
 
-func runOne(name, modeStr string, scale int, verbose bool) {
-	var m exp.Mode
-	switch modeStr {
-	case "baseline":
-		m = exp.Baseline
-	case "dmp":
-		m = exp.DMP
-	case "dx100":
-		m = exp.DX
-	default:
-		fatal(fmt.Errorf("unknown mode %q", modeStr))
+func runOne(name, modeStr string, scale int, verbose, asJSON bool) {
+	m, err := exp.ParseMode(modeStr)
+	if err != nil {
+		fatal(err)
 	}
 	res, err := exp.Run(name, scale, exp.Default(m))
 	if err != nil {
 		fatal(err)
+	}
+	if asJSON {
+		// The exact bytes dx100d serves for the same spec — the two
+		// paths share exp.ResultJSON and the simulator is deterministic.
+		b, err := exp.ResultJSON(res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", b)
+		return
 	}
 	fmt.Printf("%s on %s (scale %d):\n", name, modeStr, scale)
 	fmt.Printf("  cycles:             %d\n", res.Cycles)

@@ -5,6 +5,10 @@
 package exp
 
 import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
 	"dx100/internal/cpu"
 	"dx100/internal/dram"
 	"dx100/internal/dx100"
@@ -28,37 +32,83 @@ func (m Mode) String() string {
 	return [...]string{"baseline", "dmp", "dx100"}[m]
 }
 
-// SystemConfig describes one simulated system (Table 3).
+// ParseMode inverts String: the names used by the CLI's -mode flag and
+// the dx100d wire format.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "baseline":
+		return Baseline, nil
+	case "dmp":
+		return DMP, nil
+	case "dx100":
+		return DX, nil
+	}
+	return 0, fmt.Errorf("exp: unknown mode %q", s)
+}
+
+// MarshalJSON encodes the mode by name, keeping the wire format (and
+// the canonical config hash) independent of the constants' ordering.
+func (m Mode) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
+
+// UnmarshalJSON accepts the name form ("dx100") and, for hand-written
+// payloads, the bare integer.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		var n int
+		if err2 := json.Unmarshal(b, &n); err2 == nil {
+			if n < int(Baseline) || n > int(DX) {
+				return fmt.Errorf("exp: mode %d out of range", n)
+			}
+			*m = Mode(n)
+			return nil
+		}
+		return err
+	}
+	v, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// SystemConfig describes one simulated system (Table 3). The JSON
+// form (snake_case keys, nested component configs under their Go field
+// names) is part of the dx100d wire format and feeds the canonical
+// content hash — see Spec.Canonical.
 type SystemConfig struct {
-	Mode      Mode
-	Cores     int
-	LLCBytes  int
-	DRAM      dram.Params
-	Core      cpu.Config
-	Accel     dx100.Config
-	DMP       prefetch.Config
-	Instances int // DX100 instances (§6.6)
-	MaxCycles sim.Cycle
+	Mode      Mode            `json:"mode"`
+	Cores     int             `json:"cores"`
+	LLCBytes  int             `json:"llc_bytes"`
+	DRAM      dram.Params     `json:"dram"`
+	Core      cpu.Config      `json:"core"`
+	Accel     dx100.Config    `json:"accel"`
+	DMP       prefetch.Config `json:"dmp"`
+	Instances int             `json:"instances"` // DX100 instances (§6.6)
+	MaxCycles sim.Cycle       `json:"max_cycles"`
 	// WarmLLC pre-loads every array line into the LLC and resets the
 	// statistics before measurement — the All-Hit setup of §6.1.
-	WarmLLC bool
+	WarmLLC bool `json:"warm_llc"`
 	// NoFastForward forces exact cycle-by-cycle stepping. Results are
 	// identical either way (the equivalence tests pin this); the switch
 	// exists for those tests and for debugging wake-hint bugs.
-	NoFastForward bool
+	NoFastForward bool `json:"no_fast_forward"`
 }
 
 // defaultNoFastForward is the package-wide stepping default baked into
 // every config Default produces; see SetNoFastForward.
-var defaultNoFastForward bool
+var defaultNoFastForward atomic.Bool
 
 // SetNoFastForward sets the fast-forward default for all configs
-// subsequently built by Default — and therefore for every figure and
-// table run, whose configs are constructed internally. Results are
-// identical either way; the switch exists for debugging and for timing
-// the exact-stepping engine. Call it before launching runs: it is not
-// synchronized with the worker pool.
-func SetNoFastForward(off bool) { defaultNoFastForward = off }
+// subsequently built by Default.
+//
+// Deprecated: this is a process-wide default kept so the dx100sim
+// -noff flag works unchanged. Concurrent callers (the dx100d service)
+// must not touch it; they set SystemConfig.NoFastForward on their own
+// configs, or Runner.NoFastForward for the figure drivers, which
+// cannot race other requests.
+func SetNoFastForward(off bool) { defaultNoFastForward.Store(off) }
 
 // Default returns the Table 3 system for the given mode: the baseline
 // and DMP get a 10 MB LLC; DX100 gets 8 MB plus the accelerator,
@@ -75,7 +125,7 @@ func Default(mode Mode) SystemConfig {
 		Instances: 1,
 		MaxCycles: 2_000_000_000,
 
-		NoFastForward: defaultNoFastForward,
+		NoFastForward: defaultNoFastForward.Load(),
 	}
 	if mode == DX {
 		cfg.LLCBytes = 8 << 20

@@ -26,11 +26,18 @@ func (r MainRow) Speedup() float64 { return float64(r.Base.Cycles) / float64(r.D
 func (r MainRow) SpeedupVsDMP() float64 { return float64(r.DMP.Cycles) / float64(r.DX.Cycles) }
 
 // MainEvaluation runs the 12 benchmarks on the baseline and DX100
+// systems (and DMP when withDMP is set) under the deprecated
+// package-level defaults; see Runner.MainEvaluation.
+func MainEvaluation(scale int, names []string, withDMP bool) ([]MainRow, error) {
+	return DefaultRunner().MainEvaluation(scale, names, withDMP)
+}
+
+// MainEvaluation runs the 12 benchmarks on the baseline and DX100
 // systems (and DMP when withDMP is set), producing the per-workload
 // rows behind Figures 9-12. The independent runs execute concurrently
-// on the worker pool (see SetParallelism); rows come back in workload
-// order regardless of which run finishes first.
-func MainEvaluation(scale int, names []string, withDMP bool) ([]MainRow, error) {
+// on the Runner's worker pool; rows come back in workload order
+// regardless of which run finishes first.
+func (r Runner) MainEvaluation(scale int, names []string, withDMP bool) ([]MainRow, error) {
 	if names == nil {
 		names = workloads.Order
 	}
@@ -41,14 +48,14 @@ func MainEvaluation(scale int, names []string, withDMP bool) ([]MainRow, error) 
 	specs := make([]runSpec, 0, len(names)*len(modes))
 	for _, name := range names {
 		for _, m := range modes {
-			sp, err := namedSpec(name, scale, Default(m))
+			sp, err := namedSpec(name, scale, r.Config(m))
 			if err != nil {
 				return nil, err
 			}
 			specs = append(specs, sp)
 		}
 	}
-	res, err := runAll(specs)
+	res, err := r.runAll(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -147,8 +154,14 @@ func Fig12(rows []MainRow) *Series {
 	return s
 }
 
-// Fig8aAllHit runs the five All-Hit microbenchmarks of Figure 8 (a).
+// Fig8aAllHit runs the five All-Hit microbenchmarks of Figure 8 (a)
+// under the deprecated package-level defaults.
 func Fig8aAllHit(scale int) (*Series, error) {
+	return DefaultRunner().Fig8aAllHit(scale)
+}
+
+// Fig8aAllHit runs the five All-Hit microbenchmarks of Figure 8 (a).
+func (r Runner) Fig8aAllHit(scale int) (*Series, error) {
 	s := &Series{
 		Title:  "Figure 8a: All-Hit microbenchmark speedups",
 		Header: []string{"microbench", "base cycles", "dx100 cycles", "speedup", "paper"},
@@ -167,13 +180,13 @@ func Fig8aAllHit(scale int) (*Series, error) {
 	}
 	specs := make([]runSpec, 0, 2*len(cases))
 	for _, c := range cases {
-		bcfg := Default(Baseline)
+		bcfg := r.Config(Baseline)
 		bcfg.Cores = c.cores
 		bcfg.WarmLLC = true
 		if c.cores == 1 {
 			bcfg.LLCBytes = 4 << 20
 		}
-		dcfg := Default(DX)
+		dcfg := r.Config(DX)
 		dcfg.Cores = c.cores
 		dcfg.WarmLLC = true
 		if c.cores == 1 {
@@ -183,7 +196,7 @@ func Fig8aAllHit(scale int) (*Series, error) {
 			runSpec{inst: c.inst, cfg: bcfg},
 			runSpec{inst: c.inst, cfg: dcfg})
 	}
-	res, err := runAll(specs)
+	res, err := r.runAll(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -196,8 +209,15 @@ func Fig8aAllHit(scale int) (*Series, error) {
 }
 
 // Fig8bcAllMiss runs the All-Miss gather across the six index
-// orderings of Figure 8 (b)/(c).
+// orderings of Figure 8 (b)/(c) under the deprecated package-level
+// defaults.
 func Fig8bcAllMiss() (*Series, error) {
+	return DefaultRunner().Fig8bcAllMiss()
+}
+
+// Fig8bcAllMiss runs the All-Miss gather across the six index
+// orderings of Figure 8 (b)/(c).
+func (r Runner) Fig8bcAllMiss() (*Series, error) {
 	s := &Series{
 		Title:  "Figure 8b/c: All-Miss gather vs index ordering (64K unique indices)",
 		Header: []string{"ordering", "base cycles", "dx cycles", "speedup", "BW base", "BW dx"},
@@ -208,10 +228,10 @@ func Fig8bcAllMiss() (*Series, error) {
 		cfg := cfg
 		inst := func() *workloads.Instance { return workloads.MicroAllMiss(cfg) }
 		specs = append(specs,
-			runSpec{inst: inst, cfg: Default(Baseline)},
-			runSpec{inst: inst, cfg: Default(DX)})
+			runSpec{inst: inst, cfg: r.Config(Baseline)},
+			runSpec{inst: inst, cfg: r.Config(DX)})
 	}
-	res, err := runAll(specs)
+	res, err := r.runAll(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -224,10 +244,16 @@ func Fig8bcAllMiss() (*Series, error) {
 	return s, nil
 }
 
+// Fig13TileSize sweeps the scratchpad tile size (§6.4) under the
+// deprecated package-level defaults.
+func Fig13TileSize(scale int, names []string) (*Series, error) {
+	return DefaultRunner().Fig13TileSize(scale, names)
+}
+
 // Fig13TileSize sweeps the scratchpad tile size (§6.4). The baseline
 // runs and every tile point are submitted as one batch so the whole
 // sweep fans out across the pool.
-func Fig13TileSize(scale int, names []string) (*Series, error) {
+func (r Runner) Fig13TileSize(scale int, names []string) (*Series, error) {
 	if names == nil {
 		names = workloads.Order
 	}
@@ -238,7 +264,7 @@ func Fig13TileSize(scale int, names []string) (*Series, error) {
 	tiles := []int{1024, 2048, 4096, 8192, 16384, 32768}
 	specs := make([]runSpec, 0, len(names)*(1+len(tiles)))
 	for _, n := range names {
-		sp, err := namedSpec(n, scale, Default(Baseline))
+		sp, err := namedSpec(n, scale, r.Config(Baseline))
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +272,7 @@ func Fig13TileSize(scale int, names []string) (*Series, error) {
 	}
 	for _, tile := range tiles {
 		for _, n := range names {
-			cfg := Default(DX)
+			cfg := r.Config(DX)
 			cfg.Accel.Machine.TileElems = tile
 			sp, err := namedSpec(n, scale, cfg)
 			if err != nil {
@@ -255,7 +281,7 @@ func Fig13TileSize(scale int, names []string) (*Series, error) {
 			specs = append(specs, sp)
 		}
 	}
-	res, err := runAll(specs)
+	res, err := r.runAll(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -272,8 +298,14 @@ func Fig13TileSize(scale int, names []string) (*Series, error) {
 	return s, nil
 }
 
-// Fig14Scalability runs the 8-core scaling study (§6.6).
+// Fig14Scalability runs the 8-core scaling study (§6.6) under the
+// deprecated package-level defaults.
 func Fig14Scalability(scale int, names []string) (*Series, error) {
+	return DefaultRunner().Fig14Scalability(scale, names)
+}
+
+// Fig14Scalability runs the 8-core scaling study (§6.6).
+func (r Runner) Fig14Scalability(scale int, names []string) (*Series, error) {
 	if names == nil {
 		names = workloads.Order
 	}
@@ -287,9 +319,9 @@ func Fig14Scalability(scale int, names []string) (*Series, error) {
 		dx    SystemConfig
 		scale int
 	}{
-		{"4 cores, 1x DX100", Default(Baseline), Default(DX), scale},
-		{"8 cores, 1x DX100 (4MB SPD)", Scale8Baseline(), Scale8(1), scale * 2},
-		{"8 cores, 2x DX100", Scale8Baseline(), Scale8(2), scale * 2},
+		{"4 cores, 1x DX100", r.Config(Baseline), r.Config(DX), scale},
+		{"8 cores, 1x DX100 (4MB SPD)", r.apply(Scale8Baseline()), r.apply(Scale8(1)), scale * 2},
+		{"8 cores, 2x DX100", r.apply(Scale8Baseline()), r.apply(Scale8(2)), scale * 2},
 	}
 	specs := make([]runSpec, 0, 2*len(configs)*len(names))
 	for _, c := range configs {
@@ -305,7 +337,7 @@ func Fig14Scalability(scale int, names []string) (*Series, error) {
 			specs = append(specs, bs, ds)
 		}
 	}
-	res, err := runAll(specs)
+	res, err := r.runAll(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -322,10 +354,16 @@ func Fig14Scalability(scale int, names []string) (*Series, error) {
 	return s, nil
 }
 
+// AblationReorder quantifies the design choices of DESIGN.md under the
+// deprecated package-level defaults.
+func AblationReorder(scale int, names []string) (*Series, error) {
+	return DefaultRunner().AblationReorder(scale, names)
+}
+
 // AblationReorder quantifies the design choices of DESIGN.md: Row
 // Table reordering+coalescing on/off and direct-DRAM injection vs
 // LLC-only routing.
-func AblationReorder(scale int, names []string) (*Series, error) {
+func (r Runner) AblationReorder(scale int, names []string) (*Series, error) {
 	if names == nil {
 		names = []string{"IS", "GZZ", "XRAGE"}
 	}
@@ -333,11 +371,11 @@ func AblationReorder(scale int, names []string) (*Series, error) {
 		Title:  "Ablation: reordering window and DRAM injection path",
 		Header: []string{"workload", "full dx100", "tiny row table", "LLC-inject"},
 	}
-	tiny := Default(DX)
+	tiny := r.Config(DX)
 	tiny.Accel.RowTable = dx100.RowTableConfig{Rows: 1, Cols: 1}
-	llc := Default(DX)
+	llc := r.Config(DX)
 	llc.Accel.ForceLLCRoute = true
-	variants := []SystemConfig{Default(Baseline), Default(DX), tiny, llc}
+	variants := []SystemConfig{r.Config(Baseline), r.Config(DX), tiny, llc}
 	specs := make([]runSpec, 0, len(names)*len(variants))
 	for _, n := range names {
 		for _, cfg := range variants {
@@ -348,7 +386,7 @@ func AblationReorder(scale int, names []string) (*Series, error) {
 			specs = append(specs, sp)
 		}
 	}
-	res, err := runAll(specs)
+	res, err := r.runAll(specs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,19 +14,79 @@ import (
 // system — its own engine, statistics registry, DRAM channels and
 // caches — and every workload builder seeds its own RNG, so
 // independent runs share no mutable state and can execute on separate
-// goroutines. The experiment drivers below fan their runs out over a
-// bounded worker pool and reassemble results in submission order,
-// which keeps every figure byte-identical to a serial run (proved by
+// goroutines. The experiment drivers fan their runs out over a bounded
+// worker pool and reassemble results in submission order, which keeps
+// every figure byte-identical to a serial run (proved by
 // TestMainEvaluationSerialParallelIdentical).
+//
+// Execution policy is carried by a Runner value, not package globals,
+// so concurrent callers — two dx100d requests, two tests — cannot race
+// each other's worker counts or stepping modes. The package-level
+// figure functions remain as shims over DefaultRunner for the CLI.
 
-// parallelism holds the configured worker count; 0 selects the
-// default, runtime.GOMAXPROCS(0).
+// Runner carries per-call execution policy for the experiment drivers.
+// The zero value is ready to use: one worker per CPU, fast-forward on,
+// no cancellation. Runner values are cheap to copy; methods do not
+// mutate the receiver.
+type Runner struct {
+	// Workers bounds how many simulator runs execute concurrently;
+	// <= 0 selects one worker per available CPU.
+	Workers int
+	// NoFastForward forces exact cycle-by-cycle stepping in every
+	// config the figure drivers build through this Runner. Results are
+	// identical either way.
+	NoFastForward bool
+	// Context, when non-nil, cooperatively cancels in-flight runs: the
+	// engine loop polls it and aborts with the context's error.
+	Context context.Context
+	// OnRun, when non-nil, is called after each successful run with
+	// the number of completed runs so far and the batch total. It may
+	// be called from multiple worker goroutines; implementations must
+	// be safe for concurrent use.
+	OnRun func(done, total int)
+}
+
+// DefaultRunner snapshots the deprecated package-level defaults set by
+// SetParallelism and SetNoFastForward — the policy the package-level
+// figure functions run under.
+func DefaultRunner() Runner {
+	return Runner{
+		Workers:       int(parallelism.Load()),
+		NoFastForward: defaultNoFastForward.Load(),
+	}
+}
+
+// Config returns the Table 3 default for the mode with this Runner's
+// stepping policy applied.
+func (r Runner) Config(mode Mode) SystemConfig {
+	return r.apply(Default(mode))
+}
+
+// apply overlays the Runner's stepping policy on an existing config.
+func (r Runner) apply(cfg SystemConfig) SystemConfig {
+	cfg.NoFastForward = cfg.NoFastForward || r.NoFastForward
+	return cfg
+}
+
+// workers resolves the effective worker count.
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelism holds the worker count configured through the deprecated
+// SetParallelism; 0 selects the default, runtime.GOMAXPROCS(0).
 var parallelism atomic.Int32
 
 // SetParallelism sets how many experiment runs may execute
-// concurrently. n <= 0 restores the default (one worker per available
-// CPU). It is safe to call between experiments but not while one is
-// in flight.
+// concurrently for the package-level figure functions. n <= 0 restores
+// the default (one worker per available CPU).
+//
+// Deprecated: this is a process-wide default kept so the dx100sim
+// -jobs flag works unchanged. Concurrent callers use Runner.Workers,
+// which cannot race other requests.
 func SetParallelism(n int) {
 	if n < 0 {
 		n = 0
@@ -33,12 +94,10 @@ func SetParallelism(n int) {
 	parallelism.Store(int32(n))
 }
 
-// Parallelism returns the effective worker count.
+// Parallelism returns the effective worker count of the deprecated
+// package-level default.
 func Parallelism() int {
-	if n := parallelism.Load(); n > 0 {
-		return int(n)
-	}
-	return runtime.GOMAXPROCS(0)
+	return Runner{Workers: int(parallelism.Load())}.workers()
 }
 
 // forEach runs fn(i) for every i in [0, n) on a bounded worker pool
@@ -47,8 +106,8 @@ func Parallelism() int {
 // each fn(i) write only to its own pre-allocated slot, which is what
 // restores deterministic assembly. The lowest-index error is returned;
 // after any failure no new indices are claimed.
-func forEach(n int, fn func(i int) error) error {
-	workers := Parallelism()
+func (r Runner) forEach(n int, fn func(i int) error) error {
+	workers := r.workers()
 	if workers > n {
 		workers = n
 	}
@@ -110,14 +169,19 @@ func namedSpec(name string, scale int, cfg SystemConfig) (runSpec, error) {
 
 // runAll executes the specs on the worker pool and returns their
 // results in spec order.
-func runAll(specs []runSpec) ([]Result, error) {
+func (r Runner) runAll(specs []runSpec) ([]Result, error) {
 	out := make([]Result, len(specs))
-	err := forEach(len(specs), func(i int) error {
-		r, err := RunInstance(specs[i].inst(), specs[i].cfg)
+	var completed atomic.Int64
+	opts := RunOptions{Context: r.Context}
+	err := r.forEach(len(specs), func(i int) error {
+		res, err := RunInstanceOpts(specs[i].inst(), specs[i].cfg, opts)
 		if err != nil {
 			return err
 		}
-		out[i] = r
+		out[i] = res
+		if r.OnRun != nil {
+			r.OnRun(int(completed.Add(1)), len(specs))
+		}
 		return nil
 	})
 	if err != nil {

@@ -13,7 +13,7 @@ func TestForEachRunsEveryIndexInOrderSlots(t *testing.T) {
 	defer SetParallelism(0)
 	const n = 100
 	out := make([]int, n)
-	err := forEach(n, func(i int) error {
+	err := DefaultRunner().forEach(n, func(i int) error {
 		out[i] = i * i
 		return nil
 	})
@@ -33,7 +33,7 @@ func TestForEachBoundsConcurrency(t *testing.T) {
 	defer SetParallelism(0)
 	var cur, peak atomic.Int32
 	var mu sync.Mutex
-	err := forEach(24, func(i int) error {
+	err := DefaultRunner().forEach(24, func(i int) error {
 		c := cur.Add(1)
 		mu.Lock()
 		if c > peak.Load() {
@@ -55,7 +55,7 @@ func TestForEachReturnsLowestIndexError(t *testing.T) {
 	SetParallelism(4)
 	defer SetParallelism(0)
 	sentinel := errors.New("boom")
-	err := forEach(16, func(i int) error {
+	err := DefaultRunner().forEach(16, func(i int) error {
 		if i == 5 || i == 11 {
 			return fmt.Errorf("job %d: %w", i, sentinel)
 		}
@@ -70,7 +70,7 @@ func TestForEachSerialFallback(t *testing.T) {
 	SetParallelism(1)
 	defer SetParallelism(0)
 	var order []int
-	err := forEach(5, func(i int) error {
+	err := DefaultRunner().forEach(5, func(i int) error {
 		order = append(order, i)
 		return nil
 	})

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,17 +17,18 @@ import (
 )
 
 // Result carries the measurements of one run — the quantities Figures
-// 9-12 plot.
+// 9-12 plot. The JSON form is the stable wire format shared by the
+// dx100sim -json flag and the dx100d service (see ResultJSON).
 type Result struct {
-	Workload     string
-	Mode         Mode
-	Cycles       sim.Cycle
-	Instructions float64
-	BWUtil       float64
-	RBH          float64
-	Occupancy    float64
-	MPKI         float64
-	Stats        *sim.Stats
+	Workload     string     `json:"workload"`
+	Mode         Mode       `json:"mode"`
+	Cycles       sim.Cycle  `json:"cycles"`
+	Instructions float64    `json:"instructions"`
+	BWUtil       float64    `json:"bw_util"`
+	RBH          float64    `json:"row_buffer_hit"`
+	Occupancy    float64    `json:"occupancy"`
+	MPKI         float64    `json:"mpki"`
+	Stats        *sim.Stats `json:"stats,omitempty"`
 }
 
 // system is one assembled simulation.
@@ -132,11 +134,82 @@ func (s *system) collect(name string, end sim.Cycle) Result {
 // Run generates the workload at the given scale and executes it on the
 // configured system.
 func Run(name string, scale int, cfg SystemConfig) (Result, error) {
+	return RunOpts(name, scale, cfg, RunOptions{})
+}
+
+// RunOpts is Run with cooperative cancellation and progress reporting.
+func RunOpts(name string, scale int, cfg SystemConfig, opts RunOptions) (Result, error) {
 	b, ok := workloads.Registry[name]
 	if !ok {
 		return Result{}, fmt.Errorf("exp: unknown workload %q", name)
 	}
-	return RunInstance(b(scale), cfg)
+	return RunInstanceOpts(b(scale), cfg, opts)
+}
+
+// ProgressSample is one observation of a running simulation — the
+// payload of the dx100d event stream.
+type ProgressSample struct {
+	Cycles       sim.Cycle `json:"cycles"`
+	Instructions float64   `json:"instructions"`
+	DRAMReads    float64   `json:"dram_reads"`
+	DRAMWrites   float64   `json:"dram_writes"`
+}
+
+// RunOptions carries the cooperative services threaded into the engine
+// loop: cancellation and periodic progress sampling. The zero value
+// installs nothing and is byte-identical to a plain run.
+type RunOptions struct {
+	// Context, when non-nil, cancels the run: the engine polls it at
+	// progress cadence and aborts with the context's error wrapped.
+	Context context.Context
+	// Progress, when non-nil, receives a sample roughly every
+	// ProgressEvery simulated cycles. It is called from the simulating
+	// goroutine and must not block for long.
+	Progress func(ProgressSample)
+	// ProgressEvery is the sampling interval in simulated cycles;
+	// zero selects 2M cycles (~sub-second wall clock on every model).
+	ProgressEvery sim.Cycle
+}
+
+// installCheck wires the options into the engine's cooperative hook.
+// The hook only reads statistics counters, so installing it cannot
+// perturb results (TestCheckResultNeutral pins the engine side,
+// TestRunOptsResultNeutral the exp side).
+func (s *system) installCheck(opts RunOptions) {
+	if opts.Context == nil && opts.Progress == nil {
+		return
+	}
+	interval := opts.ProgressEvery
+	if interval == 0 {
+		interval = 2_000_000
+	}
+	s.eng.CheckEvery = interval
+	instr := make([]*sim.Counter, s.cfg.Cores)
+	for i := range instr {
+		instr[i] = s.stats.Counter(fmt.Sprintf("core%d.instructions", i))
+	}
+	reads := s.stats.Counter("dram.reads")
+	writes := s.stats.Counter("dram.writes")
+	s.eng.Check = func(now sim.Cycle) error {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return fmt.Errorf("exp: run canceled at cycle %d: %w", now, err)
+			}
+		}
+		if opts.Progress != nil {
+			sum := 0.0
+			for _, c := range instr {
+				sum += c.Value()
+			}
+			opts.Progress(ProgressSample{
+				Cycles:       now,
+				Instructions: sum,
+				DRAMReads:    reads.Value(),
+				DRAMWrites:   writes.Value(),
+			})
+		}
+		return nil
+	}
 }
 
 // warmJob is one physical range the LLC warm-up streams through.
@@ -206,7 +279,14 @@ func (s *system) warmLLC(inst *workloads.Instance) error {
 
 // RunInstance executes an already-built instance.
 func RunInstance(inst *workloads.Instance, cfg SystemConfig) (Result, error) {
+	return RunInstanceOpts(inst, cfg, RunOptions{})
+}
+
+// RunInstanceOpts executes an already-built instance with cooperative
+// cancellation and progress reporting.
+func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions) (Result, error) {
 	s := build(inst, cfg)
+	s.installCheck(opts)
 	if cfg.WarmLLC {
 		if err := s.warmLLC(inst); err != nil {
 			return Result{}, fmt.Errorf("exp: warm: %w", err)

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Spec is one fully-resolved run request: a workload, its dataset
+// scale, and the complete system configuration. It is the unit of
+// content addressing for the dx100d result cache — two submissions
+// that resolve to the same Spec are the same experiment, whatever
+// overrides they were phrased with.
+type Spec struct {
+	Workload string       `json:"workload"`
+	Scale    int          `json:"scale"`
+	Config   SystemConfig `json:"config"`
+}
+
+// Canonical returns the canonical encoding of the spec: JSON with
+// struct fields in declaration order and map keys sorted, both of
+// which encoding/json guarantees. Adding a config field changes the
+// encoding — and therefore the hash — which is exactly right: results
+// computed under an older config shape must not be served for a new
+// one.
+func (sp Spec) Canonical() ([]byte, error) {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		return nil, fmt.Errorf("exp: canonicalize spec: %w", err)
+	}
+	return b, nil
+}
+
+// Hash returns the spec's content address: the hex SHA-256 of its
+// canonical encoding.
+func (sp Spec) Hash() (string, error) {
+	b, err := sp.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Run executes the spec.
+func (sp Spec) Run(opts RunOptions) (Result, error) {
+	return RunOpts(sp.Workload, sp.Scale, sp.Config, opts)
+}
+
+// ResultJSON renders a Result in the stable wire form shared by the
+// dx100sim -json flag and the dx100d service: compact JSON, snake case
+// keys, statistics as a sorted flat object. Compact deliberately —
+// indented output would be re-indented when the service embeds it in a
+// status envelope, breaking the byte-for-byte identity between the CLI
+// and served forms. The simulator is deterministic, so two executions
+// of the same Spec produce byte-identical ResultJSON — the property
+// the content-addressed cache and the service's acceptance golden rely
+// on. Pipe through jq for a human-readable view.
+func ResultJSON(r Result) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// DecodeResult parses the ResultJSON wire form.
+func DecodeResult(b []byte) (Result, error) {
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Result{}, fmt.Errorf("exp: decode result: %w", err)
+	}
+	return r, nil
+}

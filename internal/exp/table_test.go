@@ -1,0 +1,37 @@
+package exp
+
+import "testing"
+
+// TestSeriesStringGolden pins the exact rendering of a Series: header
+// and cell alignment to the widest column, the title banner, and
+// trailing notes — the format every figure driver emits.
+func TestSeriesStringGolden(t *testing.T) {
+	s := &Series{
+		Title:  "Golden",
+		Header: []string{"workload", "cycles", "speedup"},
+	}
+	s.AddRow("IS", "1047768", "5.46x")
+	s.AddRow("GZZ", "42", "1.00x")
+	s.Note("geomean speedup %s", f2x(2.337))
+	want := "== Golden ==\n" +
+		"workload  cycles   speedup\n" +
+		"IS        1047768  5.46x  \n" +
+		"GZZ       42       1.00x  \n" +
+		"-- geomean speedup 2.34x\n"
+	if got := s.String(); got != want {
+		t.Fatalf("Series rendering changed:\n got:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestSeriesFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{f2(1.2345), "1.23"},
+		{f2x(2.5), "2.50x"},
+		{pct(0.825), "82%"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("formatter produced %q, want %q", c.got, c.want)
+		}
+	}
+}

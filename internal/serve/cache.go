@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed result store: an in-memory map in
+// front of an optional on-disk directory of <hash>.json files. Keys
+// are the hex SHA-256 of the canonical spec encoding (exp.Spec.Hash),
+// so a cache entry is valid forever — the key pins the exact workload,
+// scale and fully-resolved system configuration that produced it, and
+// the simulator is deterministic.
+type Cache struct {
+	dir string
+	mu  sync.Mutex
+	mem map[string]json.RawMessage
+}
+
+// NewCache opens a cache backed by dir; an empty dir selects
+// memory-only operation. The directory is created on demand.
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: make(map[string]json.RawMessage)}, nil
+}
+
+// validKey rejects anything that is not a hex content hash — the disk
+// layer joins keys into paths, so nothing traversal-shaped may pass.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the cached result bytes for key. A disk hit is promoted
+// into memory so subsequent lookups are map-only.
+func (c *Cache) Get(key string) (json.RawMessage, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	c.mu.Lock()
+	if v, ok := c.mem[key]; ok {
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.mem[key] = b
+	c.mu.Unlock()
+	return b, true
+}
+
+// Put stores the result bytes under key, in memory and — when a
+// directory is configured — on disk via write-to-temp + rename so a
+// crash never leaves a torn entry.
+func (c *Cache) Put(key string, v json.RawMessage) error {
+	if !validKey(key) {
+		return fmt.Errorf("serve: invalid cache key %q", key)
+	}
+	c.mu.Lock()
+	c.mem[key] = v
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if _, err := tmp.Write(v); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, key+".json")); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of in-memory entries (disk-only entries not
+// yet touched are not counted).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestCacheMemoryRoundTrip(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("k1")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get on empty cache hit")
+	}
+	want := []byte(`{"cycles":42}`)
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("Get = (%q, %v), want (%q, true)", got, ok, want)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDiskPersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("persist")
+	want := []byte(`{"cycles":7}`)
+	if err := c1.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Cache over the same directory — simulating a daemon
+	// restart — must serve the entry from disk and promote it.
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 0 {
+		t.Fatalf("fresh cache Len = %d, want 0 before first Get", c2.Len())
+	}
+	got, ok := c2.Get(key)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("disk Get = (%q, %v), want (%q, true)", got, ok, want)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("Len after promotion = %d, want 1", c2.Len())
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != key+".json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("cache dir contents = %v, want exactly [%s.json]", names, key)
+	}
+}
+
+func TestCacheRejectsInvalidKeys(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"",
+		"short",
+		"../../../etc/passwd",
+		testKey("x")[:63] + "G",                     // uppercase hex digit
+		testKey("x")[:40] + "/" + testKey("x")[:23], // separator
+	}
+	for _, key := range bad {
+		if err := c.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted invalid key", key)
+		}
+		if _, ok := c.Get(key); ok {
+			t.Errorf("Get(%q) hit on invalid key", key)
+		}
+	}
+	// The traversal attempts must not have created files outside dir.
+	if _, err := os.Stat(filepath.Join(dir, "..", "etc")); err == nil {
+		t.Fatal("invalid key escaped the cache directory")
+	}
+}
+
+func TestCacheMemoryOnlyWithoutDir(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("mem")
+	if err := c.Put(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// A second memory-only cache shares nothing.
+	c2, _ := NewCache("")
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("memory-only caches leaked entries to each other")
+	}
+}

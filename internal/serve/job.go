@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"dx100/internal/exp"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state can no longer change.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// event is one server-sent event: a name and a JSON payload.
+type event struct {
+	name string
+	data json.RawMessage
+}
+
+// job is one submitted experiment. Its id is the content address of
+// the fully-resolved spec, which is what makes identical submissions
+// coalesce: the jobs map keys on id, so the second submitter finds the
+// first one's job and simply observes it.
+type job struct {
+	id      string
+	kind    string // "run" or "figure"
+	spec    exp.Spec
+	fig     figSpec
+	created time.Time
+
+	mu         sync.Mutex
+	state      State
+	wantCancel bool
+	result     json.RawMessage
+	errMsg     string
+	progress json.RawMessage // most recent progress payload, if any
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	subs     map[chan event]struct{}
+	done     chan struct{} // closed on entering a terminal state
+}
+
+func newJob(id, kind string) *job {
+	return &job{
+		id:      id,
+		kind:    kind,
+		state:   StateQueued,
+		created: time.Now().UTC(),
+		subs:    make(map[chan event]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// start transitions queued -> running, wiring the cancel func. It
+// reports false when the job was canceled while queued (the worker
+// then skips it).
+func (j *job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	j.cancel = cancel
+	return true
+}
+
+// finish records the terminal state, wakes status pollers and streams
+// the final event to subscribers.
+func (j *job) finish(result json.RawMessage, err error) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	final := StateDone
+	if err != nil {
+		final = StateFailed
+		j.errMsg = err.Error()
+		if j.cancelRequested() {
+			final = StateCanceled
+		}
+	}
+	j.state = final
+	j.result = result
+	j.finished = time.Now().UTC()
+	payload, _ := json.Marshal(map[string]string{"id": j.id, "status": string(final)})
+	for ch := range j.subs {
+		select {
+		case ch <- event{name: string(final), data: payload}:
+		default: // slow subscriber: it will observe `done` and re-poll
+		}
+	}
+	close(j.done)
+	j.mu.Unlock()
+}
+
+// canceledWhileQueued marks a queued job canceled before any worker
+// picked it up.
+func (j *job) canceledWhileQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateCanceled
+	j.errMsg = "canceled before execution"
+	payload, _ := json.Marshal(map[string]string{"id": j.id, "status": string(StateCanceled)})
+	for ch := range j.subs {
+		select {
+		case ch <- event{name: string(StateCanceled), data: payload}:
+		default:
+		}
+	}
+	close(j.done)
+	return true
+}
+
+// requestCancel cancels a running job's context (a queued job is
+// handled by canceledWhileQueued). Reports whether anything happened.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	cancel := j.cancel
+	running := j.state == StateRunning
+	j.wantCancel = true
+	j.mu.Unlock()
+	if running && cancel != nil {
+		cancel()
+		return true
+	}
+	return false
+}
+
+// cancelRequested must be called with j.mu held.
+func (j *job) cancelRequested() bool { return j.wantCancel }
+
+// publishProgress stores the latest progress payload and fans it out
+// to subscribers. Drops on slow subscribers — progress is a stream of
+// samples, not a ledger.
+func (j *job) publishProgress(data json.RawMessage) {
+	j.mu.Lock()
+	j.progress = data
+	for ch := range j.subs {
+		select {
+		case ch <- event{name: "progress", data: data}:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers an event channel; the caller must unsubscribe.
+func (j *job) subscribe() chan event {
+	ch := make(chan event, 16)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *job) unsubscribe(ch chan event) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// statusView is the GET /v1/runs/{id} payload.
+type statusView struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	Status   State           `json:"status"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Spec     *exp.Spec       `json:"spec,omitempty"`
+	Figure   *figSpec        `json:"figure,omitempty"`
+	Progress json.RawMessage `json:"progress,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Cached   bool            `json:"cached,omitempty"`
+}
+
+// view snapshots the job for the status endpoint.
+func (j *job) view() statusView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := statusView{
+		ID:       j.id,
+		Kind:     j.kind,
+		Status:   j.state,
+		Created:  j.created,
+		Progress: j.progress,
+		Result:   j.result,
+		Error:    j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.kind == "run" {
+		sp := j.spec
+		v.Spec = &sp
+	} else {
+		f := j.fig
+		v.Figure = &f
+	}
+	return v
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Push when the queue is at capacity; the
+// HTTP layer maps it to 503 + Retry-After so clients back off instead
+// of piling unbounded work onto the daemon.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrQueueClosed is returned by Push after Close.
+var ErrQueueClosed = errors.New("serve: job queue closed")
+
+// queue is a bounded FIFO handed from the HTTP submit path to the
+// worker goroutines. Push never blocks (full is an error the client
+// sees); Pop blocks until an item arrives or the queue is closed and
+// drained. Like the engine's seqQueue, pops advance a head index and
+// the backing array is recycled once drained, so steady-state
+// operation does not allocate.
+type queue[T any] struct {
+	mu     sync.Mutex
+	nonEmp *sync.Cond
+	items  []T
+	head   int
+	limit  int
+	closed bool
+}
+
+func newQueue[T any](limit int) *queue[T] {
+	if limit <= 0 {
+		limit = 1
+	}
+	q := &queue[T]{limit: limit}
+	q.nonEmp = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends an item, failing when full or closed.
+func (q *queue[T]) Push(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.items)-q.head >= q.limit {
+		return ErrQueueFull
+	}
+	if q.head > 0 && q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.items = append(q.items, v)
+	q.nonEmp.Signal()
+	return nil
+}
+
+// Pop removes the oldest item, blocking while the queue is empty and
+// open. ok is false once the queue is closed and fully drained —
+// workers keep draining queued work after Close so graceful shutdown
+// completes accepted jobs.
+func (q *queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == q.head && !q.closed {
+		q.nonEmp.Wait()
+	}
+	if len(q.items) == q.head {
+		return v, false
+	}
+	v = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release the reference held by the slot
+	q.head++
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// Close rejects further pushes and wakes blocked Pops.
+func (q *queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nonEmp.Broadcast()
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueueFIFOOrder(t *testing.T) {
+	q := newQueue[int](8)
+	for i := 0; i < 5; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatalf("Push(%d): %v", i, err)
+		}
+	}
+	if got := q.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if got := q.Len(); got != 0 {
+		t.Fatalf("Len after drain = %d, want 0", got)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	q := newQueue[int](2)
+	q.Push(1)
+	q.Push(2)
+	if err := q.Push(3); err != ErrQueueFull {
+		t.Fatalf("Push into full queue: err = %v, want ErrQueueFull", err)
+	}
+	// Draining one slot reopens capacity.
+	q.Pop()
+	if err := q.Push(3); err != nil {
+		t.Fatalf("Push after Pop: %v", err)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue[string](4)
+	q.Push("a")
+	q.Push("b")
+	q.Close()
+	if err := q.Push("c"); err != ErrQueueClosed {
+		t.Fatalf("Push after Close: err = %v, want ErrQueueClosed", err)
+	}
+	// Items accepted before Close still come out, in order.
+	if v, ok := q.Pop(); !ok || v != "a" {
+		t.Fatalf("Pop = (%q, %v), want (a, true)", v, ok)
+	}
+	if v, ok := q.Pop(); !ok || v != "b" {
+		t.Fatalf("Pop = (%q, %v), want (b, true)", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on closed empty queue reported ok")
+	}
+}
+
+func TestQueueCloseWakesBlockedPop(t *testing.T) {
+	q := newQueue[int](1)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("blocked Pop returned ok after Close of empty queue")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	const producers, perProducer = 8, 50
+	q := newQueue[int](producers * perProducer)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(p*perProducer + i); err != nil {
+					t.Errorf("Push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	seen := make(chan int, producers*perProducer)
+	var cg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				seen <- v
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+	close(seen)
+	got := make(map[int]bool)
+	for v := range seen {
+		if got[v] {
+			t.Fatalf("item %d delivered twice", v)
+		}
+		got[v] = true
+	}
+	if len(got) != producers*perProducer {
+		t.Fatalf("delivered %d items, want %d", len(got), producers*perProducer)
+	}
+}

@@ -1,0 +1,564 @@
+// Package serve implements dx100d, the experiment service: a
+// long-running HTTP daemon that schedules simulator runs through a
+// bounded FIFO queue, deduplicates identical submissions onto one
+// in-flight job (singleflight keyed by the spec's content hash),
+// caches results in a content-addressed in-memory + on-disk store, and
+// streams per-run progress as server-sent events.
+//
+// The wire surface (all JSON):
+//
+//	POST   /v1/runs            submit {workload, mode, scale, overrides}
+//	GET    /v1/runs/{id}       job status + Result
+//	GET    /v1/runs/{id}/events  SSE progress stream
+//	DELETE /v1/runs/{id}       cancel a queued or running job
+//	GET    /v1/figures/{n}     submit a whole-figure batch job
+//	GET    /healthz            liveness + queue/cache gauges
+//
+// Results are byte-identical to `dx100sim -run ... -json`: both paths
+// render through exp.ResultJSON, and the simulator is deterministic.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dx100/internal/exp"
+	"dx100/internal/sim"
+	"dx100/internal/workloads"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the number of job-executing goroutines (default 2).
+	// Each single-run job occupies one worker; figure jobs fan their
+	// runs out further over FigWorkers.
+	Workers int
+	// QueueDepth bounds the FIFO of accepted-but-unstarted jobs
+	// (default 64). A full queue rejects submissions with 503.
+	QueueDepth int
+	// JobTimeout is the per-job wall-clock budget; zero means none.
+	JobTimeout time.Duration
+	// CacheDir backs the result cache on disk; empty means in-memory
+	// only.
+	CacheDir string
+	// FigWorkers bounds the per-figure experiment pool (0 = one per
+	// CPU).
+	FigWorkers int
+	// Log receives operational messages; nil discards them.
+	Log *log.Logger
+}
+
+// Server is the experiment service. Create with New, serve via
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	q     *queue[*job]
+	mux   *http.ServeMux
+
+	ctx    context.Context // canceled only when Shutdown gives up waiting
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	closed bool
+
+	start time.Time
+	// simRuns counts simulations actually executed — cache hits and
+	// coalesced submissions do not bump it. The cache tests assert on
+	// it, and /healthz exposes it.
+	simRuns atomic.Int64
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	cache, err := NewCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		cache:  cache,
+		q:      newQueue[*job](cfg.QueueDepth),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*job),
+		start:  time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SimRuns reports how many simulations the server has actually
+// executed (cache hits excluded).
+func (s *Server) SimRuns() int64 { return s.simRuns.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// Shutdown drains the service: no new submissions are accepted, queued
+// and running jobs are completed, then the workers exit. If ctx
+// expires first, in-flight jobs are cooperatively canceled through
+// their engine check hooks and Shutdown waits for the workers to
+// observe that.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.q.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // abort in-flight engines; workers exit promptly
+		<-done
+		return fmt.Errorf("serve: shutdown forced after %v", ctx.Err())
+	}
+}
+
+// worker drains the queue until it is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.q.Pop()
+		if !ok {
+			return
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one job to a terminal state.
+func (s *Server) execute(j *job) {
+	ctx := s.ctx
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	if !j.start(cancel) {
+		return // canceled while queued
+	}
+	var out json.RawMessage
+	var err error
+	switch j.kind {
+	case "run":
+		out, err = s.executeRun(ctx, j)
+	case "figure":
+		out, err = s.executeFigure(ctx, j)
+	default:
+		err = fmt.Errorf("serve: unknown job kind %q", j.kind)
+	}
+	if err != nil {
+		s.logf("job %s failed: %v", j.id[:12], err)
+		j.finish(nil, err)
+		return
+	}
+	if cerr := s.cache.Put(j.id, out); cerr != nil {
+		// The run succeeded; a cache-write failure only costs a rerun
+		// later. Log and carry on.
+		s.logf("cache put %s: %v", j.id[:12], cerr)
+	}
+	j.finish(out, nil)
+}
+
+func (s *Server) executeRun(ctx context.Context, j *job) (json.RawMessage, error) {
+	s.simRuns.Add(1)
+	res, err := j.spec.Run(exp.RunOptions{
+		Context: ctx,
+		Progress: func(p exp.ProgressSample) {
+			if b, err := json.Marshal(p); err == nil {
+				j.publishProgress(b)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return exp.ResultJSON(res)
+}
+
+// submit implements the singleflight core shared by runs and figures:
+// cache hit → synthetic done job; existing live job → coalesce; else
+// enqueue a fresh job. The bool reports a cache hit.
+func (s *Server) submit(j *job) (*job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrQueueClosed
+	}
+	if existing, ok := s.jobs[j.id]; ok {
+		existing.mu.Lock()
+		st := existing.state
+		done := existing.state == StateDone
+		existing.mu.Unlock()
+		// Coalesce onto any live or successfully finished job; only
+		// failed/canceled jobs are retried with a fresh submission.
+		if done || !st.terminal() {
+			return existing, done, nil
+		}
+	}
+	if cached, ok := s.cache.Get(j.id); ok {
+		// Materialize a terminal job so status/events work uniformly.
+		j.finish(cached, nil)
+		s.jobs[j.id] = j
+		return j, true, nil
+	}
+	if err := s.q.Push(j); err != nil {
+		return nil, false, err
+	}
+	s.jobs[j.id] = j
+	return j, false, nil
+}
+
+// --- request/response shapes -------------------------------------------
+
+// Overrides is the client-settable subset of SystemConfig knobs. A nil
+// field keeps the Table 3 default; the fully-resolved config is what
+// gets hashed, so two phrasings of the same system coalesce.
+type Overrides struct {
+	NoFastForward *bool   `json:"no_fast_forward,omitempty"`
+	Cores         *int    `json:"cores,omitempty"`
+	LLCBytes      *int    `json:"llc_bytes,omitempty"`
+	Instances     *int    `json:"instances,omitempty"`
+	MaxCycles     *uint64 `json:"max_cycles,omitempty"`
+	TileElems     *int    `json:"tile_elems,omitempty"`
+	WarmLLC       *bool   `json:"warm_llc,omitempty"`
+}
+
+type runRequest struct {
+	Workload  string     `json:"workload"`
+	Mode      string     `json:"mode"`
+	Scale     int        `json:"scale"`
+	Overrides *Overrides `json:"overrides,omitempty"`
+}
+
+// resolve turns the request into a fully-resolved Spec.
+func (rr runRequest) resolve() (exp.Spec, error) {
+	if _, ok := workloads.Registry[rr.Workload]; !ok {
+		return exp.Spec{}, fmt.Errorf("unknown workload %q (see dx100sim -list; micro.* names are also served)", rr.Workload)
+	}
+	if rr.Mode == "" {
+		rr.Mode = "dx100"
+	}
+	mode, err := exp.ParseMode(rr.Mode)
+	if err != nil {
+		return exp.Spec{}, err
+	}
+	if rr.Scale <= 0 {
+		rr.Scale = 1
+	}
+	cfg := exp.Default(mode)
+	if o := rr.Overrides; o != nil {
+		if o.NoFastForward != nil {
+			cfg.NoFastForward = *o.NoFastForward
+		}
+		if o.Cores != nil {
+			cfg.Cores = *o.Cores
+		}
+		if o.LLCBytes != nil {
+			cfg.LLCBytes = *o.LLCBytes
+		}
+		if o.Instances != nil {
+			cfg.Instances = *o.Instances
+		}
+		if o.MaxCycles != nil {
+			cfg.MaxCycles = sim.Cycle(*o.MaxCycles)
+		}
+		if o.TileElems != nil {
+			cfg.Accel.Machine.TileElems = *o.TileElems
+		}
+		if o.WarmLLC != nil {
+			cfg.WarmLLC = *o.WarmLLC
+		}
+	}
+	if cfg.Cores < 1 || cfg.Cores > 64 || cfg.Instances < 1 || cfg.Instances > cfg.Cores {
+		return exp.Spec{}, fmt.Errorf("invalid core/instance override (cores %d, instances %d)", cfg.Cores, cfg.Instances)
+	}
+	return exp.Spec{Workload: rr.Workload, Scale: rr.Scale, Config: cfg}, nil
+}
+
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status State  `json:"status"`
+	Cached bool   `json:"cached"`
+}
+
+// --- handlers ----------------------------------------------------------
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var rr runRequest
+	if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := rr.resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := spec.Hash()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	j := newJob(id, "run")
+	j.spec = spec
+	s.finishSubmit(w, j)
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	fig, err := parseFigSpec(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := fig.hash()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	j := newJob(id, "figure")
+	j.fig = fig
+	s.finishSubmit(w, j)
+}
+
+// finishSubmit pushes the job through the singleflight path and writes
+// the submit response.
+func (s *Server) finishSubmit(w http.ResponseWriter, j *job) {
+	got, cached, err := s.submit(j)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrQueueClosed):
+		httpError(w, http.StatusServiceUnavailable, errors.New("serve: shutting down"))
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	got.mu.Lock()
+	st := got.state
+	got.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: got.id, Status: st, Cached: cached})
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.lookup(id)
+	if j == nil {
+		// Not an active job — maybe a previous process computed it.
+		if cached, ok := s.cache.Get(id); ok {
+			writeJSON(w, http.StatusOK, statusView{ID: id, Status: StateDone, Result: cached, Cached: true})
+			return
+		}
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.lookup(id)
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	j.canceledWhileQueued()
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleEvents streams a job's progress as server-sent events:
+// `progress` events carrying samples, then one terminal `done` /
+// `failed` / `canceled` event, after which the stream closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.lookup(id)
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch := j.subscribe()
+	defer j.unsubscribe(ch)
+
+	// Replay current state so late subscribers see something
+	// immediately; terminal jobs get their final event and EOF.
+	j.mu.Lock()
+	last := j.progress
+	st := j.state
+	j.mu.Unlock()
+	if last != nil {
+		writeEvent(w, event{name: "progress", data: last})
+		flusher.Flush()
+	}
+	if st.terminal() {
+		payload, _ := json.Marshal(map[string]string{"id": j.id, "status": string(st)})
+		writeEvent(w, event{name: string(st), data: payload})
+		flusher.Flush()
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			writeEvent(w, ev)
+			flusher.Flush()
+			if ev.name != "progress" {
+				return
+			}
+		case <-j.done:
+			// Drain anything published before the close, then emit the
+			// terminal event (it may already be in the channel; the
+			// drain handles both orders).
+			for {
+				select {
+				case ev := <-ch:
+					writeEvent(w, ev)
+					flusher.Flush()
+					if ev.name != "progress" {
+						return
+					}
+				default:
+					j.mu.Lock()
+					st := j.state
+					j.mu.Unlock()
+					payload, _ := json.Marshal(map[string]string{"id": j.id, "status": string(st)})
+					writeEvent(w, event{name: string(st), data: payload})
+					flusher.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var queued, running, terminal int
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		switch {
+		case j.state == StateQueued:
+			queued++
+		case j.state == StateRunning:
+			running++
+		default:
+			terminal++
+		}
+		j.mu.Unlock()
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             !closed,
+		"queued":         queued,
+		"running":        running,
+		"finished":       terminal,
+		"workers":        s.cfg.Workers,
+		"queue_depth":    s.cfg.QueueDepth,
+		"cache_entries":  s.cache.Len(),
+		"sim_runs":       s.simRuns.Load(),
+		"uptime_seconds": int(time.Since(s.start).Seconds()),
+	})
+}
+
+// --- small helpers -----------------------------------------------------
+
+// writeJSON emits compact JSON. No indentation: an indenting encoder
+// reformats embedded json.RawMessage values, which would break the
+// byte-for-byte identity between a served Result and the CLI's -json
+// output.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeEvent emits one SSE frame. Payloads are single-line JSON, so no
+// data-line splitting is needed.
+func writeEvent(w http.ResponseWriter, ev event) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+}
+
+func parsePositiveInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid positive integer %q", s)
+	}
+	return n, nil
+}
+
+func parseBoolParam(s string) bool {
+	switch strings.ToLower(s) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}

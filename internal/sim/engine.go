@@ -39,6 +39,11 @@ type Cycle uint64
 // first — can give it work. It never bounds a jump by itself.
 const NeverWake = Cycle(^uint64(0))
 
+// DefaultCheckEvery is the Check cadence used when Engine.CheckEvery
+// is zero: frequent enough that cancellation lands within tens of
+// milliseconds of wall clock on any model, rare enough to be free.
+const DefaultCheckEvery = Cycle(1 << 20)
+
 // Ticker is a component stepped once per cycle while the engine runs.
 // Tick reports whether the component still has work outstanding; the
 // engine stops when no ticker has work and the event heap is empty.
@@ -195,6 +200,19 @@ type Engine struct {
 	// the equivalence tests pin that.
 	DisableFastForward bool
 
+	// Check, when non-nil, is invoked by Run at the first cycle
+	// boundary at or after every CheckEvery simulated cycles — the
+	// cooperative cancellation and progress hook. It runs after the
+	// cycle's events and ticks, so it observes a consistent state. A
+	// non-nil return aborts Run with that error. Check must not mutate
+	// simulator state: the contract is that a run with a hook installed
+	// is byte-identical to one without (fast-forward jumps do not stop
+	// at check boundaries, so a check may fire late, never early).
+	Check func(now Cycle) error
+	// CheckEvery is the simulated-cycle interval between Check calls;
+	// zero selects DefaultCheckEvery.
+	CheckEvery Cycle
+
 	ffJumps   uint64
 	ffSkipped uint64
 }
@@ -322,6 +340,11 @@ func (e *Engine) fastForward() {
 // boundaries are fast-forwarded, which is result-identical because
 // done can only change when some component acts.
 func (e *Engine) Run(done func() bool) (Cycle, error) {
+	interval := e.CheckEvery
+	if interval == 0 {
+		interval = DefaultCheckEvery
+	}
+	nextCheck := e.now + interval
 	for {
 		busy := e.Step()
 		if done != nil && done() {
@@ -337,6 +360,12 @@ func (e *Engine) Run(done func() bool) (Cycle, error) {
 		}
 		if e.MaxCycles != 0 && e.now >= e.MaxCycles {
 			return e.now, fmt.Errorf("sim: cycle limit %d exceeded", e.MaxCycles)
+		}
+		if e.Check != nil && e.now >= nextCheck {
+			if err := e.Check(e.now); err != nil {
+				return e.now, err
+			}
+			nextCheck = e.now + interval
 		}
 		if e.allHint && !e.DisableFastForward {
 			e.fastForward()

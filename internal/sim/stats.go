@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -110,6 +111,37 @@ func (s *Stats) String() string {
 		fmt.Fprintf(&b, "%-40s %v\n", n, s.counters[n].v)
 	}
 	return b.String()
+}
+
+// MarshalJSON encodes the registry as a flat {name: value} object over
+// the touched counters. encoding/json writes map keys in sorted order,
+// so the encoding is canonical: two registries with the same touched
+// counters and values marshal to identical bytes.
+func (s *Stats) MarshalJSON() ([]byte, error) {
+	m := make(map[string]float64, len(s.counters))
+	for n, c := range s.counters {
+		if c.touched {
+			m[n] = c.v
+		}
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON rebuilds the registry from the flat object form. Every
+// decoded counter is marked touched, so a marshal → unmarshal → marshal
+// round trip is byte-identical.
+func (s *Stats) UnmarshalJSON(b []byte) error {
+	var m map[string]float64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	if s.counters == nil {
+		s.counters = make(map[string]*Counter, len(m))
+	}
+	for n, v := range m {
+		s.Counter(n).Set(v)
+	}
+	return nil
 }
 
 // Geomean returns the geometric mean of xs; it returns 0 for an empty

@@ -15,6 +15,17 @@ import (
 // All-Hit scenario, plus the All-Miss Gather-Full with constructed
 // row-buffer-hit / channel / bank-group index orderings.
 
+// The microbenchmarks are addressable through the Registry too (they
+// are not in Order — they are not Figure 9 rows), so the experiment
+// service and `dx100sim -run` can name a fast, seconds-scale job.
+func init() {
+	register("micro.gather", func(scale int) *Instance { return MicroGather(false, scale) })
+	register("micro.gather.spd", func(scale int) *Instance { return MicroGather(true, scale) })
+	register("micro.rmw", func(scale int) *Instance { return MicroRMW(false, scale) })
+	register("micro.rmw.atomic", func(scale int) *Instance { return MicroRMW(true, scale) })
+	register("micro.scatter", func(scale int) *Instance { return MicroScatter(scale) })
+}
+
 // MicroGather builds p_A[i] = A[B[i]] with streaming indices
 // (B[i] = i), the All-Hit setup. consume=true is Gather-SPD (the core
 // reads the packed array from the scratchpad); consume=false is
