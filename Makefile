@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench microbench profile examples figures serve clean
+.PHONY: all build test vet race cover fuzz bench microbench profile examples figures serve clean
 
 all: build test
 
@@ -19,6 +19,15 @@ test:
 # experiment runner makes this the gate for any scheduling change.
 race: vet
 	$(GO) test -race ./...
+
+# Coverage profile + per-function summary (CI enforces the floor).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Fuzz the spec canonicalization/hashing invariants (CI runs 10s).
+fuzz:
+	$(GO) test ./internal/exp -run '^$$' -fuzz FuzzSpecCanonical -fuzztime=30s
 
 # Regenerate every figure/table (tens of minutes; see EXPERIMENTS.md).
 bench:

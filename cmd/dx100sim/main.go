@@ -7,6 +7,7 @@
 //	dx100sim -list                          # workloads and Table 1 patterns
 //	dx100sim -config                        # Table 3 system configuration
 //	dx100sim -run IS -mode dx100 -scale 8   # one run with metrics
+//	dx100sim -run IS -trace t.jsonl -metrics m.prom   # event trace + full metrics
 //	dx100sim -fig 9 -scale 8                # regenerate a figure
 //	dx100sim -fig all -scale 8              # everything (slow)
 //	dx100sim -fig all -scale 8 -jobs 4      # ... on 4 worker goroutines
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +26,7 @@ import (
 	"dx100/internal/amodel"
 	"dx100/internal/exp"
 	"dx100/internal/loopir"
+	"dx100/internal/obs"
 	"dx100/internal/workloads"
 )
 
@@ -40,6 +43,8 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "concurrent experiment runs (0 = one per CPU, 1 = serial)")
 		verbose = flag.Bool("v", false, "dump raw statistics after -run")
 		asJSON  = flag.Bool("json", false, "emit -run results as JSON (the dx100d wire form)")
+		trace   = flag.String("trace", "", "with -run, stream the event trace to this file (.json = Chrome trace_event for chrome://tracing or Perfetto; anything else = JSON Lines)")
+		metrics = flag.String("metrics", "", "with -run, write the full metrics snapshot to this file (.json = JSON; anything else = Prometheus text)")
 		noFF    = flag.Bool("noff", false, "disable idle-cycle fast-forward (exact stepping; results are identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -79,7 +84,7 @@ func main() {
 	case *table4:
 		printTable4()
 	case *run != "":
-		runOne(*run, *mode, *scale, *verbose, *asJSON)
+		runOne(*run, *mode, *scale, *verbose, *asJSON, *trace, *metrics)
 	case *fig != "":
 		runFigure(*fig, *scale, subset(*names))
 	default:
@@ -129,14 +134,42 @@ func printTable4() {
 	fmt.Print(out)
 }
 
-func runOne(name, modeStr string, scale int, verbose, asJSON bool) {
+func runOne(name, modeStr string, scale int, verbose, asJSON bool, traceFile, metricsFile string) {
 	m, err := exp.ParseMode(modeStr)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := exp.Run(name, scale, exp.Default(m))
+	var opts exp.RunOptions
+	var traceOut *os.File
+	if traceFile != "" {
+		traceOut, err = os.Create(traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		sink := obs.NewSink(0)
+		if strings.HasSuffix(traceFile, ".json") {
+			sink.SpillChrome(traceOut)
+		} else {
+			sink.SpillJSONL(traceOut)
+		}
+		opts.Trace = sink
+	}
+	res, err := exp.RunOpts(name, scale, exp.Default(m), opts)
 	if err != nil {
 		fatal(err)
+	}
+	if traceOut != nil {
+		if err := opts.Trace.Close(); err != nil {
+			fatal(err)
+		}
+		if err := traceOut.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if metricsFile != "" {
+		if err := writeMetrics(metricsFile, res); err != nil {
+			fatal(err)
+		}
 	}
 	if asJSON {
 		// The exact bytes dx100d serves for the same spec — the two
@@ -158,6 +191,28 @@ func runOne(name, modeStr string, scale int, verbose, asJSON bool) {
 	if verbose {
 		fmt.Println(res.Stats)
 	}
+}
+
+// writeMetrics encodes the run's full metrics snapshot (counters plus
+// the histograms the flat Result JSON leaves out): Prometheus text by
+// default, JSON when the path ends in .json.
+func writeMetrics(path string, res exp.Result) error {
+	snap := res.Stats.Registry().Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(snap)
+	} else {
+		err = snap.WritePrometheus(f, "dx100_run_")
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func runFigure(fig string, scale int, names []string) {

@@ -8,6 +8,7 @@ package cache
 
 import (
 	"dx100/internal/memspace"
+	"dx100/internal/obs"
 	"dx100/internal/sim"
 )
 
@@ -101,6 +102,10 @@ type Cache struct {
 	cMisses     *sim.Counter
 	cPrefetches *sim.Counter
 	cWritebacks *sim.Counter
+
+	// trace, when non-nil, receives fill and eviction events. Both emit
+	// sites are nil-guarded; tracing off costs one branch per fill.
+	trace *obs.Sink
 }
 
 // New builds a cache on top of below.
@@ -128,6 +133,9 @@ func New(eng *sim.Engine, cfg Config, below Level, stats *sim.Stats, prefix stri
 
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// AttachTrace directs fill/eviction events into sink (nil detaches).
+func (c *Cache) AttachTrace(sink *obs.Sink) { c.trace = sink }
 
 func (c *Cache) indexTag(addr memspace.PAddr) (set int, tag uint64) {
 	l := uint64(addr) >> memspace.LineBits
@@ -181,6 +189,17 @@ func (c *Cache) victim(now sim.Cycle, set int) *line {
 		if v == nil || ln.used < v.used {
 			v = ln
 		}
+	}
+	if c.trace != nil {
+		evAddr := (v.tag*uint64(c.cfg.Sets) + uint64(set)) << memspace.LineBits
+		dirty := int64(0)
+		if v.dirty {
+			dirty = 1
+		}
+		c.trace.Emit(obs.Event{
+			Cycle: uint64(now), Kind: obs.EvCacheEvict, Src: c.prefix,
+			Args: [6]int64{int64(evAddr), int64(set), dirty},
+		})
 	}
 	if v.dirty {
 		c.cWritebacks.Inc()
@@ -282,6 +301,12 @@ func (c *Cache) fill(now sim.Cycle, m *mshr) {
 	v := c.victim(now, set)
 	c.stamp++
 	*v = line{valid: true, dirty: m.kind == Store, tag: tag, used: c.stamp}
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{
+			Cycle: uint64(now), Kind: obs.EvCacheFill, Src: c.prefix,
+			Args: [6]int64{int64(m.addr), int64(set)},
+		})
+	}
 	delete(c.mshrs, m.addr)
 	for _, w := range m.waiters {
 		w(now)

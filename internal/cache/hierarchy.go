@@ -3,6 +3,7 @@ package cache
 import (
 	"dx100/internal/dram"
 	"dx100/internal/memspace"
+	"dx100/internal/obs"
 	"dx100/internal/sim"
 )
 
@@ -136,6 +137,17 @@ func NewHierarchy(eng *sim.Engine, cfg HierarchyConfig, sys *dram.System, stats 
 		h.L1 = append(h.L1, l1)
 	}
 	return h
+}
+
+// AttachTrace directs fill/eviction events from every level into sink
+// (nil detaches). Events carry the level's stats prefix as Src, so one
+// sink distinguishes "llc." from "l1d." traffic.
+func (h *Hierarchy) AttachTrace(sink *obs.Sink) {
+	h.LLC.AttachTrace(sink)
+	for i := range h.L1 {
+		h.L1[i].AttachTrace(sink)
+		h.L2[i].AttachTrace(sink)
+	}
 }
 
 // Present reports whether the line is resident anywhere in the

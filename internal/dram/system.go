@@ -2,6 +2,7 @@ package dram
 
 import (
 	"dx100/internal/memspace"
+	"dx100/internal/obs"
 	"dx100/internal/sim"
 )
 
@@ -32,32 +33,17 @@ type System struct {
 	cWrites    *sim.Counter
 	cBytes     *sim.Counter
 
-	// Trace, when non-nil, is invoked for every issued DRAM command
-	// with the DRAM cycle it issued at. The property tests use it to
-	// check the JEDEC timing invariants directly; it is not called on
-	// the simulation fast path when unset.
-	Trace func(cmd Cmd, c Coord, dc uint64)
-}
+	// hOccupancy is the request-buffer occupancy distribution, one
+	// observation per channel per DRAM cycle. It lives in the stats
+	// registry (obs snapshots carry it) but not in the Result JSON.
+	hOccupancy *obs.Histogram
 
-// Cmd identifies one issued DRAM command for tracing.
-type Cmd uint8
-
-const (
-	// CmdAct opens a row.
-	CmdAct Cmd = iota
-	// CmdPre closes a bank's open row.
-	CmdPre
-	// CmdRead is a read column command.
-	CmdRead
-	// CmdWrite is a write column command.
-	CmdWrite
-	// CmdRefresh is an all-bank refresh (Coord carries the channel
-	// only).
-	CmdRefresh
-)
-
-func (c Cmd) String() string {
-	return [...]string{"ACT", "PRE", "RD", "WR", "REF"}[c]
+	// trace, when non-nil, receives one event per issued DRAM command
+	// (ACT/PRE/RD/WR/REF with bank coordinates and the DRAM cycle).
+	// The protocol-checker tests consume it to verify the JEDEC timing
+	// invariants; every emit site is nil-guarded so the simulation fast
+	// path pays one branch when tracing is off.
+	trace *obs.Sink
 }
 
 // NewSystem builds a memory system on the engine, registered as a
@@ -76,6 +62,7 @@ func NewSystem(eng *sim.Engine, p Params, stats *sim.Stats, prefix string) *Syst
 	s.cReads = stats.Counter(prefix + "reads")
 	s.cWrites = stats.Counter(prefix + "writes")
 	s.cBytes = stats.Counter(prefix + "bytes")
+	s.hOccupancy = stats.Registry().Histogram(prefix+"occupancy", obs.ExpBounds(p.RequestBuffer))
 	for i := 0; i < p.Channels; i++ {
 		ch := newChannel(p)
 		ch.idx = i
@@ -84,6 +71,9 @@ func NewSystem(eng *sim.Engine, p Params, stats *sim.Stats, prefix string) *Syst
 	eng.Register(s)
 	return s
 }
+
+// AttachTrace directs DRAM command events into sink (nil detaches).
+func (s *System) AttachTrace(sink *obs.Sink) { s.trace = sink }
 
 // Params returns the system configuration.
 func (s *System) Params() Params { return s.p }
@@ -126,6 +116,7 @@ func (s *System) Tick(now sim.Cycle) bool {
 	s.cCycles.Inc()
 	for _, ch := range s.chans {
 		s.cOccupancy.Add(float64(len(ch.queue)))
+		s.hOccupancy.Observe(float64(len(ch.queue)))
 		s.tickChannel(ch, dc, now)
 	}
 	return s.busy()
@@ -176,6 +167,10 @@ func (s *System) SkipCycles(from, to sim.Cycle) {
 		// Add even when the queue is empty: a zero Add still marks the
 		// counter as touched, exactly as the elided Ticks would have.
 		s.cOccupancy.Add(float64(edges) * float64(len(ch.queue)))
+		// ObserveN(v, n) is bit-identical to n unit Observes, so the
+		// occupancy distribution is the same whether these edges were
+		// stepped or jumped.
+		s.hOccupancy.ObserveN(float64(len(ch.queue)), edges)
 	}
 }
 
@@ -192,8 +187,11 @@ func (s *System) busy() bool {
 func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 	if ch.maybeRefresh(dc) {
 		s.cRefreshes.Inc()
-		if s.Trace != nil {
-			s.Trace(CmdRefresh, Coord{Channel: ch.idx}, dc)
+		if s.trace != nil {
+			s.trace.Emit(obs.Event{
+				Cycle: uint64(now), Kind: obs.EvDRAMRefresh, Src: s.prefix,
+				Args: [6]int64{int64(ch.idx), int64(dc)},
+			})
 		}
 		return
 	}
@@ -219,8 +217,8 @@ func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 				ch.issuePRE(r, dc)
 				r.requiredPre = true
 				s.cPre.Inc()
-				if s.Trace != nil {
-					s.Trace(CmdPre, r.coord, dc)
+				if s.trace != nil {
+					s.trace.Emit(cmdEvent(obs.EvDRAMPre, s.prefix, now, r.coord, dc))
 				}
 				return
 			}
@@ -230,8 +228,8 @@ func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 			ch.issueACT(r, dc)
 			r.requiredAct = true
 			s.cAct.Inc()
-			if s.Trace != nil {
-				s.Trace(CmdAct, r.coord, dc)
+			if s.trace != nil {
+				s.trace.Emit(cmdEvent(obs.EvDRAMAct, s.prefix, now, r.coord, dc))
 			}
 			return
 		}
@@ -243,12 +241,12 @@ func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 func (s *System) completeCAS(ch *channel, r *Request, dc uint64, now sim.Cycle) {
 	doneAt := ch.issueCAS(r, dc)
 	ch.remove(r)
-	if s.Trace != nil {
-		cmd := CmdRead
+	if s.trace != nil {
+		kind := obs.EvDRAMRead
 		if r.Kind == Write {
-			cmd = CmdWrite
+			kind = obs.EvDRAMWrite
 		}
-		s.Trace(cmd, r.coord, dc)
+		s.trace.Emit(cmdEvent(kind, s.prefix, now, r.coord, dc))
 	}
 	switch {
 	case !r.requiredAct:
@@ -270,6 +268,14 @@ func (s *System) completeCAS(ch *channel, r *Request, dc uint64, now sim.Cycle) 
 			cpuDone = now + 1
 		}
 		s.eng.Schedule(cpuDone, r.OnDone)
+	}
+}
+
+// cmdEvent packs one DRAM command's coordinates into a trace event.
+func cmdEvent(kind obs.Kind, src string, now sim.Cycle, c Coord, dc uint64) obs.Event {
+	return obs.Event{
+		Cycle: uint64(now), Kind: kind, Src: src,
+		Args: [6]int64{int64(c.Channel), int64(c.Rank), int64(c.BankGroup), int64(c.Bank), int64(c.Row), int64(dc)},
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"dx100/internal/cache"
 	"dx100/internal/dram"
 	"dx100/internal/memspace"
+	"dx100/internal/obs"
 	"dx100/internal/sim"
 )
 
@@ -115,6 +116,10 @@ type Accel struct {
 	cReqDirect  *sim.Counter
 	cWritebacks *sim.Counter
 
+	// trace, when non-nil, receives request-buffer enqueue and retire
+	// drain events. Both sites are nil-guarded, off the per-cycle path.
+	trace *obs.Sink
+
 	tileRefs   []int // outstanding references per tile: ready bit == 0 refs
 	tileUse    []int // in-flight (dispatched) uses, for the scoreboard
 	tileWriter []*inflight
@@ -204,6 +209,10 @@ func New(eng *sim.Engine, cfg Config, space *memspace.Space, mem *dram.System, l
 // Machine exposes the functional state (tiles, registers) for host
 // setup and result inspection.
 func (a *Accel) Machine() *Machine { return a.m }
+
+// AttachTrace directs request-buffer enqueue/drain events into sink
+// (nil detaches).
+func (a *Accel) AttachTrace(sink *obs.Sink) { a.trace = sink }
 
 // TLB exposes the translation buffer for PTE preloading (§4.1).
 func (a *Accel) TLB() *TLB { return a.tlb }
@@ -318,6 +327,12 @@ func (a *Accel) Send(ins Instr) error {
 	}
 	a.queue = append(a.queue, fl)
 	a.cInstrs.Inc()
+	if a.trace != nil {
+		a.trace.Emit(obs.Event{
+			Cycle: uint64(a.eng.Now()), Kind: obs.EvDXEnqueue, Src: a.prefix,
+			Args: [6]int64{int64(ins.Op), int64(a.QueueLen())},
+		})
+	}
 	return nil
 }
 
@@ -595,6 +610,12 @@ func (a *Accel) dispatch(fl *inflight, now sim.Cycle) {
 
 // retire releases the instruction's operands and frees its unit.
 func (a *Accel) retire(u unit, fl *inflight) {
+	if a.trace != nil {
+		a.trace.Emit(obs.Event{
+			Cycle: uint64(a.eng.Now()), Kind: obs.EvDXDrain, Src: a.prefix,
+			Args: [6]int64{int64(fl.ins.Op), int64(a.QueueLen())},
+		})
+	}
 	dests, nd, srcs, ns := operandTiles(fl.ins)
 	for _, t := range dests[:nd] {
 		a.tileUse[t]--

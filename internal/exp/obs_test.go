@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dx100/internal/obs"
+)
+
+// updateGoldens rewrites the committed golden trace from the current
+// model instead of diffing against it:
+//
+//	go test ./internal/exp -run TestGoldenTrace -update
+//
+// Only do this after an intentional model change, and review the new
+// file in the diff — the golden exists precisely so that accidental
+// changes to command scheduling fail loudly.
+var updateGoldens = flag.Bool("update", false, "rewrite golden trace files under testdata/ from the current model")
+
+// TestTraceResultNeutral pins the observation-only contract promised in
+// RunOptions.Trace: a run with a trace sink attached (and therefore the
+// full metrics registry, histograms included, active) produces
+// byte-identical wire-form Results to a plain run, on two workloads
+// with different access patterns, under the full DX100 system.
+func TestTraceResultNeutral(t *testing.T) {
+	for _, name := range []string{"micro.gather", "micro.scatter"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := Default(DX)
+			plain, err := RunOpts(name, 1, cfg, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink := obs.NewSink(0)
+			traced, err := RunOpts(name, 1, cfg, RunOptions{Trace: sink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := ResultJSON(plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := ResultJSON(traced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("traced run differs from plain run:\n%s\n---\n%s", b1, b2)
+			}
+			// The neutrality only means something if the sink actually
+			// observed the run: every layer must have emitted.
+			if sink.Total() == 0 {
+				t.Fatal("trace sink saw no events over a full DX100 run")
+			}
+			cats := map[string]bool{}
+			for _, ev := range sink.Events() {
+				cats[ev.Kind.Category()] = true
+			}
+			for _, want := range []string{"dram", "cache", "dx100"} {
+				if !cats[want] {
+					t.Errorf("no %s events in the trace (categories seen: %v)", want, cats)
+				}
+			}
+		})
+	}
+}
+
+// goldenTraceLines is how much of the trace the golden pins: enough to
+// cover the warm-up ACT/RD bursts, the first precharges and the first
+// DX100 activity, small enough to review in a diff.
+const goldenTraceLines = 250
+
+// captureGoldenTrace runs the golden workload (micro.gather, scale 1,
+// DX100 system) with a spilling JSONL sink and returns the first
+// goldenTraceLines lines of the trace.
+func captureGoldenTrace(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewSink(0)
+	sink.SpillJSONL(&buf)
+	if _, err := RunOpts("micro.gather", 1, Default(DX), RunOptions{Trace: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	if len(lines) < goldenTraceLines {
+		t.Fatalf("trace too short for the golden: %d lines", len(lines))
+	}
+	return strings.Join(lines[:goldenTraceLines], "")
+}
+
+// TestGoldenTraceMicroGather diffs the head of the micro.gather DX100
+// event trace against the committed golden. The simulator is
+// deterministic, so any divergence means the command schedule (or the
+// trace encoding) changed. For an intentional change, regenerate with
+// -update (see updateGoldens) and commit the new file.
+func TestGoldenTraceMicroGather(t *testing.T) {
+	path := filepath.Join("testdata", "micro_gather_dx_trace.jsonl")
+	got := captureGoldenTrace(t)
+	if *updateGoldens {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d lines)", path, goldenTraceLines)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (generate it with: go test ./internal/exp -run TestGoldenTrace -update)", err)
+	}
+	if bytes.Equal([]byte(got), want) {
+		// Sanity on the golden itself: every line is valid JSON with
+		// the JSONL schema's fixed leading keys.
+		for i, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+			var m map[string]any
+			if err := json.Unmarshal([]byte(line), &m); err != nil {
+				t.Fatalf("golden line %d is not valid JSON: %v", i+1, err)
+			}
+			for _, k := range []string{"cycle", "cat", "name", "src"} {
+				if _, ok := m[k]; !ok {
+					t.Fatalf("golden line %d misses key %q: %s", i+1, k, line)
+				}
+			}
+		}
+		return
+	}
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimRight(string(want), "\n"), "\n")
+	n := min(len(gotLines), len(wantLines))
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("trace diverges from golden at line %d:\n got: %s\nwant: %s\n(intentional model change? regenerate with -update and review the diff)",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("trace length differs from golden: got %d lines, want %d", len(gotLines), len(wantLines))
+}
+
+// TestGoldenTraceStableAcrossRuns guards the golden's premise without
+// touching the file: two captures in one process are byte-identical.
+func TestGoldenTraceStableAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full traced run")
+	}
+	a, b := captureGoldenTrace(t), captureGoldenTrace(t)
+	if a != b {
+		t.Fatal("two traced runs of the same spec produced different traces")
+	}
+}

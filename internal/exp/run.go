@@ -11,6 +11,7 @@ import (
 	"dx100/internal/dx100"
 	"dx100/internal/loopir"
 	"dx100/internal/memspace"
+	"dx100/internal/obs"
 	"dx100/internal/prefetch"
 	"dx100/internal/sim"
 	"dx100/internal/workloads"
@@ -169,6 +170,27 @@ type RunOptions struct {
 	// ProgressEvery is the sampling interval in simulated cycles;
 	// zero selects 2M cycles (~sub-second wall clock on every model).
 	ProgressEvery sim.Cycle
+	// Trace, when non-nil, receives structured events from every
+	// component: DRAM commands, cache fills/evictions, DX100
+	// enqueue/drain, engine fast-forward jumps. Tracing is observation
+	// only — a run with a sink attached produces byte-identical Results
+	// (TestTraceResultNeutral pins this).
+	Trace *obs.Sink
+}
+
+// attachTrace hooks every component's emit sites to the sink. A nil
+// sink is a no-op: components keep their nil default and pay only the
+// guard branch.
+func (s *system) attachTrace(sink *obs.Sink) {
+	if sink == nil {
+		return
+	}
+	s.eng.Trace = sink
+	s.mem.AttachTrace(sink)
+	s.hier.AttachTrace(sink)
+	for _, a := range s.accels {
+		a.AttachTrace(sink)
+	}
 }
 
 // installCheck wires the options into the engine's cooperative hook.
@@ -287,6 +309,7 @@ func RunInstance(inst *workloads.Instance, cfg SystemConfig) (Result, error) {
 func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions) (Result, error) {
 	s := build(inst, cfg)
 	s.installCheck(opts)
+	s.attachTrace(opts.Trace)
 	if cfg.WarmLLC {
 		if err := s.warmLLC(inst); err != nil {
 			return Result{}, fmt.Errorf("exp: warm: %w", err)

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 )
 
 // Spec is one fully-resolved run request: a workload, its dataset
@@ -24,7 +25,15 @@ type Spec struct {
 // encoding — and therefore the hash — which is exactly right: results
 // computed under an older config shape must not be served for a new
 // one.
+//
+// The workload name is coerced to valid UTF-8 before encoding so that
+// canonicalization is idempotent even for garbage input: encoding/json
+// escapes invalid bytes as U+FFFD, and without the coercion a
+// canonical-form round trip would re-encode that replacement rune
+// differently from the original bytes (FuzzSpecCanonical found and now
+// pins this).
 func (sp Spec) Canonical() ([]byte, error) {
+	sp.Workload = strings.ToValidUTF8(sp.Workload, "�")
 	b, err := json.Marshal(sp)
 	if err != nil {
 		return nil, fmt.Errorf("exp: canonicalize spec: %w", err)

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterTouchedSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	if c.Touched() {
+		t.Fatal("fresh counter is touched")
+	}
+	if got := r.CounterNames(); len(got) != 0 {
+		t.Fatalf("untouched counter listed: %v", got)
+	}
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Fatalf("value = %v, want 3", c.Value())
+	}
+	if got := r.CounterNames(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("names = %v", got)
+	}
+	// Handles survive reset; reset un-touches.
+	r.ResetCounters()
+	if c.Touched() || c.Value() != 0 {
+		t.Fatalf("reset did not clear: touched=%v v=%v", c.Touched(), c.Value())
+	}
+	c.Set(9)
+	if r.CounterValue("a") != 9 {
+		t.Fatalf("post-reset handle write lost: %v", r.CounterValue("a"))
+	}
+	// Same name returns the same handle.
+	if r.Counter("a") != c {
+		t.Fatal("Counter(name) returned a different handle")
+	}
+}
+
+func TestHistogramBucketsAndObserveN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("occ", []float64{0, 1, 2, 4})
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100) // +Inf bucket
+	h.ObserveN(3, 5)
+	snap := r.Snapshot().Histograms["occ"]
+	wantCounts := []uint64{1, 1, 0, 6, 1}
+	for i, c := range wantCounts {
+		if snap.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], c, snap.Counts)
+		}
+	}
+	if snap.Count != 9 {
+		t.Fatalf("count = %d, want 9", snap.Count)
+	}
+	if snap.Sum != 0+1+3+100+15 {
+		t.Fatalf("sum = %v", snap.Sum)
+	}
+	// ObserveN(v, n) must equal n unit observes bit-for-bit.
+	a := r.Histogram("a", []float64{0, 2, 8})
+	b := r.Histogram("b", []float64{0, 2, 8})
+	a.ObserveN(5, 1000)
+	for i := 0; i < 1000; i++ {
+		b.Observe(5)
+	}
+	sa, sb := a.snapshot(), b.snapshot()
+	if sa.Sum != sb.Sum || sa.Count != sb.Count {
+		t.Fatalf("ObserveN diverges from unit observes: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	got := ExpBounds(32)
+	want := []float64{0, 1, 2, 4, 8, 16, 32}
+	if len(got) != len(want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSyncMetricsAreRaceFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.SyncCounter("hits")
+	g := r.Gauge("depth")
+	h := r.SyncHistogram("lat", ExpBounds(8))
+	r.GaugeFunc("fn", func() float64 { return 42 })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 10))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("sync counter = %d, want 4000", c.Value())
+	}
+	if g.Value() != 4000 {
+		t.Fatalf("gauge = %v, want 4000", g.Value())
+	}
+	snap := r.Snapshot()
+	if snap.Gauges["fn"] != 42 {
+		t.Fatalf("gauge func = %v", snap.Gauges["fn"])
+	}
+	if snap.Histograms["lat"].Count != 4000 {
+		t.Fatalf("sync histogram count = %d", snap.Histograms["lat"].Count)
+	}
+}
+
+func TestWritePrometheusDeterministicAndLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dram.rowhits").Add(12)
+	r.Counter("core0.instructions").Add(3)
+	r.Gauge("queue.depth").Set(5)
+	r.Histogram("occ", []float64{0, 1}).ObserveN(1, 4)
+	snap := r.Snapshot()
+	var a, b strings.Builder
+	if err := snap.WritePrometheus(&a, "dx100_run_", Label{"run", "abc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePrometheus(&b, "dx100_run_", Label{"run", "abc"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two encodings of one snapshot differ")
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# TYPE dx100_run_dram_rowhits counter",
+		`dx100_run_dram_rowhits{run="abc"} 12`,
+		`dx100_run_core0_instructions{run="abc"} 3`,
+		"# TYPE dx100_run_queue_depth gauge",
+		`dx100_run_queue_depth{run="abc"} 5`,
+		"# TYPE dx100_run_occ histogram",
+		`dx100_run_occ_bucket{run="abc",le="1"} 4`,
+		`dx100_run_occ_bucket{run="abc",le="+Inf"} 4`,
+		`dx100_run_occ_sum{run="abc"} 4`,
+		`dx100_run_occ_count{run="abc"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"dram.rowhits":        "dram_rowhits",
+		"dx100.0.rt.inserts":  "dx100_0_rt_inserts",
+		"9lives":              "_9lives",
+		"already_fine:metric": "already_fine:metric",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(2)
+	r.Histogram("h", []float64{0, 1}).Observe(1)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c"] != 1 || back.Gauges["g"] != 2 || back.Histograms["h"].Count != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair applied to every series of an
+// encoded snapshot (e.g. {run="3f2a91bc00d1"}).
+type Label struct {
+	Key, Value string
+}
+
+// PromName sanitizes an internal metric name ("dram.rowhits",
+// "core0.instructions") into the Prometheus charset: every character
+// outside [a-zA-Z0-9_:] becomes '_', and a leading digit is prefixed
+// with '_'. The mapping is stable, so sanitized names stay comparable
+// across runs.
+func PromName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+		}
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// renderLabels renders {k="v",...} or "" when there are no labels.
+// Label values are escaped per the exposition format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(l.Value)
+		fmt.Fprintf(&b, `%s="%s"`, PromName(l.Key), v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// appendLabel renders labels plus one extra pair — the histogram
+// bucket "le" label.
+func appendLabel(labels []Label, key, value string) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, Label{key, value})
+	return renderLabels(all)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus encodes the snapshot in the Prometheus text
+// exposition format. Every metric name is prefixed with prefix and
+// sanitized through PromName; labels (if any) are applied to every
+// series. Output is sorted by metric name, so two identical snapshots
+// encode to identical bytes.
+func (s Snapshot) WritePrometheus(w io.Writer, prefix string, labels ...Label) error {
+	ls := renderLabels(labels)
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(prefix + n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %s\n", pn, pn, ls, formatValue(s.Counters[n])); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(prefix + n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n", pn, pn, ls, formatValue(s.Gauges[n])); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := PromName(prefix + n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// Buckets are cumulative in the exposition format; the stored
+		// counts are per-bucket.
+		cum := uint64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatValue(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, appendLabel(labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", pn, ls, formatValue(h.Sum), pn, ls, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -10,9 +10,11 @@
 //	POST   /v1/runs            submit {workload, mode, scale, overrides}
 //	GET    /v1/runs/{id}       job status + Result
 //	GET    /v1/runs/{id}/events  SSE progress stream
+//	GET    /v1/runs/{id}/metrics per-run counters, Prometheus text
 //	DELETE /v1/runs/{id}       cancel a queued or running job
 //	GET    /v1/figures/{n}     submit a whole-figure batch job
 //	GET    /healthz            liveness + queue/cache gauges
+//	GET    /metrics            service gauges/counters, Prometheus text
 //
 // Results are byte-identical to `dx100sim -run ... -json`: both paths
 // render through exp.ResultJSON, and the simulator is deterministic.
@@ -76,8 +78,12 @@ type Server struct {
 	start time.Time
 	// simRuns counts simulations actually executed — cache hits and
 	// coalesced submissions do not bump it. The cache tests assert on
-	// it, and /healthz exposes it.
+	// it, and /healthz and /metrics expose it.
 	simRuns atomic.Int64
+
+	// metrics is the service-level observability registry behind GET
+	// /metrics; initMetrics wires it before the handlers start.
+	metrics *serverMetrics
 }
 
 // New builds the server and starts its worker pool.
@@ -102,13 +108,16 @@ func New(cfg Config) (*Server, error) {
 		jobs:   make(map[string]*job),
 		start:  time.Now(),
 	}
+	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/metrics", s.handleRunMetrics)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -179,6 +188,12 @@ func (s *Server) execute(j *job) {
 	if !j.start(cancel) {
 		return // canceled while queued
 	}
+	s.metrics.inFlight.Add(1)
+	began := time.Now()
+	defer func() {
+		s.metrics.inFlight.Add(-1)
+		s.metrics.jobSeconds.Observe(time.Since(began).Seconds())
+	}()
 	var out json.RawMessage
 	var err error
 	switch j.kind {
@@ -191,9 +206,11 @@ func (s *Server) execute(j *job) {
 	}
 	if err != nil {
 		s.logf("job %s failed: %v", j.id[:12], err)
+		s.metrics.jobsFailed.Inc()
 		j.finish(nil, err)
 		return
 	}
+	s.metrics.jobsDone.Inc()
 	if cerr := s.cache.Put(j.id, out); cerr != nil {
 		// The run succeeded; a cache-write failure only costs a rerun
 		// later. Log and carry on.
@@ -227,6 +244,7 @@ func (s *Server) submit(j *job) (*job, bool, error) {
 	if s.closed {
 		return nil, false, ErrQueueClosed
 	}
+	s.metrics.submissions.Inc()
 	if existing, ok := s.jobs[j.id]; ok {
 		existing.mu.Lock()
 		st := existing.state
@@ -235,11 +253,13 @@ func (s *Server) submit(j *job) (*job, bool, error) {
 		// Coalesce onto any live or successfully finished job; only
 		// failed/canceled jobs are retried with a fresh submission.
 		if done || !st.terminal() {
+			s.metrics.coalesced.Inc()
 			return existing, done, nil
 		}
 	}
 	if cached, ok := s.cache.Get(j.id); ok {
 		// Materialize a terminal job so status/events work uniformly.
+		s.metrics.cacheHits.Inc()
 		j.finish(cached, nil)
 		s.jobs[j.id] = j
 		return j, true, nil

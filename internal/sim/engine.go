@@ -29,6 +29,8 @@ package sim
 
 import (
 	"fmt"
+
+	"dx100/internal/obs"
 )
 
 // Cycle is a point in simulated time, measured in CPU clock cycles.
@@ -213,6 +215,13 @@ type Engine struct {
 	// zero selects DefaultCheckEvery.
 	CheckEvery Cycle
 
+	// Trace, when non-nil, receives one obs.EvFastForward event per
+	// clock jump. It is consulted only on the jump path — never in the
+	// per-cycle Step loop — so a nil sink costs nothing (the engine
+	// allocation benchmark pins this) and an attached sink cannot
+	// perturb results (tracing is observation only).
+	Trace *obs.Sink
+
 	ffJumps   uint64
 	ffSkipped uint64
 }
@@ -323,6 +332,14 @@ func (e *Engine) fastForward() {
 	}
 	e.ffJumps++
 	e.ffSkipped += uint64(target - 1 - from)
+	if e.Trace != nil {
+		e.Trace.Emit(obs.Event{
+			Cycle: uint64(from),
+			Kind:  obs.EvFastForward,
+			Src:   "engine",
+			Args:  [6]int64{int64(target - 1), int64(target - 1 - from)},
+		})
+	}
 }
 
 // Run steps until no ticker is busy and no events are pending, or until

@@ -1,6 +1,49 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"dx100/internal/obs"
+)
+
+// TestEngineZeroAllocsWithNilTrace pins the zero-cost-when-off half of
+// the observability contract: with no sink attached (Engine.Trace nil),
+// neither the dense per-cycle path nor the sparse fast-forward path
+// allocates in steady state. A regression here means tracing leaked
+// into the hot loop.
+func TestEngineZeroAllocsWithNilTrace(t *testing.T) {
+	// Dense regime: every ticker busy, Step does all the work.
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.Register(&busyHinter{})
+	}
+	for i := 0; i < 256; i++ {
+		e.Step() // reach the heap's steady state before measuring
+	}
+	if n := testing.AllocsPerRun(500, func() { e.Step() }); n != 0 {
+		t.Fatalf("dense Step allocates %.1f allocs/op with nil trace, want 0", n)
+	}
+
+	// Sparse regime: Run covers the cycles almost entirely by
+	// fast-forward jumps — the path that consults Engine.Trace.
+	e2 := NewEngine()
+	e2.Register(&sparseTicker{period: 1000, limit: 1 << 62})
+	var target Cycle
+	done := func() bool { return e2.now >= target }
+	run := func() {
+		target = e2.now + 100_000
+		if _, err := e2.Run(done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up
+	if jumps, _ := e2.FastForwarded(); jumps == 0 {
+		t.Fatal("sparse run took no fast-forward jumps; the pin measures nothing")
+	}
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("sparse Run allocates %.1f allocs/op with nil trace, want 0", n)
+	}
+}
 
 // BenchmarkSchedulePop measures the generic event heap: one Schedule
 // plus the eventual pop, in steady state. The -benchmem column is the
@@ -53,6 +96,24 @@ func BenchmarkEngineStepDense(b *testing.B) {
 // entirely by jumping.
 func BenchmarkEngineStepSparse(b *testing.B) {
 	e := NewEngine()
+	s := &sparseTicker{period: 1000, limit: 1 << 62}
+	e.Register(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	target := e.now + Cycle(b.N)
+	if _, err := e.Run(func() bool { return e.now >= target }); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineStepSparseTraced is the enabled-cost companion to
+// BenchmarkEngineStepSparse: same sparse run with a ring sink attached,
+// so every fast-forward jump emits an event. Compare the two to see
+// what turning tracing on costs on the jump path (the per-cycle path
+// never consults the sink either way).
+func BenchmarkEngineStepSparseTraced(b *testing.B) {
+	e := NewEngine()
+	e.Trace = obs.NewSink(1 << 12)
 	s := &sparseTicker{period: 1000, limit: 1 << 62}
 	e.Register(s)
 	b.ReportAllocs()

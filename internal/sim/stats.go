@@ -4,8 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
-	"sort"
 	"strings"
+
+	"dx100/internal/obs"
 )
 
 // Counter is one named statistic. Components on per-cycle paths hold a
@@ -16,51 +17,43 @@ import (
 // touched counters, so handle-based and string-based usage render
 // identically (including across Reset, which un-touches every counter
 // while keeping handles valid).
-type Counter struct {
-	v       float64
-	touched bool
-}
-
-// Add increments the counter by v.
-func (c *Counter) Add(v float64) {
-	c.v += v
-	c.touched = true
-}
-
-// Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
-
-// Set overwrites the counter.
-func (c *Counter) Set(v float64) {
-	c.v = v
-	c.touched = true
-}
-
-// Value returns the current value (zero when untouched).
-func (c *Counter) Value() float64 { return c.v }
+//
+// Counter is an alias for obs.Counter: the simulator's statistics live
+// in an obs.Registry, so the same run registry can also carry
+// histograms and be encoded through the obs snapshot/Prometheus/JSON
+// paths without copying.
+type Counter = obs.Counter
 
 // Stats is a flat registry of named counters shared by the simulator
-// components. Components add to counters by name (or through *Counter
-// handles on hot paths); the experiment harness snapshots and formats
-// them.
+// components, backed by an obs.Registry. Components add to counters by
+// name (or through *Counter handles on hot paths); the experiment
+// harness snapshots and formats them. Histograms registered on the
+// same registry (DRAM occupancy, queue depths) ride along in obs
+// snapshots but are deliberately excluded from Stats' JSON form, which
+// stays a flat counters-only object so experiment Results remain
+// byte-stable.
 type Stats struct {
-	counters map[string]*Counter
+	reg *obs.Registry
 }
 
 // NewStats returns an empty registry.
 func NewStats() *Stats {
-	return &Stats{counters: make(map[string]*Counter)}
+	return &Stats{reg: obs.NewRegistry()}
+}
+
+// Registry exposes the backing obs.Registry so harnesses can register
+// histograms or encode the full snapshot (Prometheus text, JSON).
+func (s *Stats) Registry() *obs.Registry {
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	return s.reg
 }
 
 // Counter returns the handle for name, creating it (untouched) on
 // first use. Handles remain valid across Reset.
 func (s *Stats) Counter(name string) *Counter {
-	c, ok := s.counters[name]
-	if !ok {
-		c = &Counter{}
-		s.counters[name] = c
-	}
-	return c
+	return s.Registry().Counter(name)
 }
 
 // Add increments counter name by v.
@@ -74,41 +67,28 @@ func (s *Stats) Inc(name string) { s.Add(name, 1) }
 // Set overwrites counter name.
 func (s *Stats) Set(name string, v float64) { s.Counter(name).Set(v) }
 
-// Reset zeroes every counter (components keep their registry pointer
-// and their counter handles, so measurement can start after a warm-up
-// phase). Reset counters drop out of Names/String until touched again.
-func (s *Stats) Reset() {
-	for _, c := range s.counters {
-		c.v = 0
-		c.touched = false
-	}
-}
+// Reset zeroes every counter and clears every histogram (components
+// keep their registry pointer and their handles, so measurement can
+// start after a warm-up phase). Reset counters drop out of
+// Names/String until touched again.
+func (s *Stats) Reset() { s.Registry().ResetCounters() }
 
 // Get returns counter name (zero if absent).
 func (s *Stats) Get(name string) float64 {
-	if c, ok := s.counters[name]; ok {
-		return c.v
-	}
-	return 0
+	return s.Registry().CounterValue(name)
 }
 
 // Names returns all touched counter names in sorted order.
 func (s *Stats) Names() []string {
-	names := make([]string, 0, len(s.counters))
-	for n, c := range s.counters {
-		if c.touched {
-			names = append(names, n)
-		}
-	}
-	sort.Strings(names)
-	return names
+	return s.Registry().CounterNames()
 }
 
 // String renders the registry one counter per line, sorted by name.
 func (s *Stats) String() string {
+	reg := s.Registry()
 	var b strings.Builder
-	for _, n := range s.Names() {
-		fmt.Fprintf(&b, "%-40s %v\n", n, s.counters[n].v)
+	for _, n := range reg.CounterNames() {
+		fmt.Fprintf(&b, "%-40s %v\n", n, reg.CounterValue(n))
 	}
 	return b.String()
 }
@@ -116,13 +96,14 @@ func (s *Stats) String() string {
 // MarshalJSON encodes the registry as a flat {name: value} object over
 // the touched counters. encoding/json writes map keys in sorted order,
 // so the encoding is canonical: two registries with the same touched
-// counters and values marshal to identical bytes.
+// counters and values marshal to identical bytes. Histograms are not
+// part of this form — it is the stable Result encoding.
 func (s *Stats) MarshalJSON() ([]byte, error) {
-	m := make(map[string]float64, len(s.counters))
-	for n, c := range s.counters {
-		if c.touched {
-			m[n] = c.v
-		}
+	reg := s.Registry()
+	names := reg.CounterNames()
+	m := make(map[string]float64, len(names))
+	for _, n := range names {
+		m[n] = reg.CounterValue(n)
 	}
 	return json.Marshal(m)
 }
@@ -134,9 +115,6 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 	var m map[string]float64
 	if err := json.Unmarshal(b, &m); err != nil {
 		return err
-	}
-	if s.counters == nil {
-		s.counters = make(map[string]*Counter, len(m))
 	}
 	for n, v := range m {
 		s.Counter(n).Set(v)
