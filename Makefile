@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover fuzz bench microbench profile examples figures serve clean
+.PHONY: all build test vet race cover fuzz bench microbench benchdiff profile examples figures serve clean
 
 all: build test
 
@@ -40,6 +40,11 @@ microbench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedulePop|BenchmarkEngineStep' -benchmem ./internal/sim
 	$(GO) test -run '^$$' -bench BenchmarkDRAMTick -benchmem ./internal/dram
 	$(GO) test -run '^$$' -bench BenchmarkFigureRun -benchtime=1x -timeout=60m .
+
+# Compare fresh microbenchmarks against the committed baseline in
+# BENCH_engine.json; fails on a >10% ns/op regression.
+benchdiff:
+	$(GO) run ./cmd/benchdiff
 
 # CPU + heap profile of a representative run; inspect with
 #   go tool pprof cpu.prof

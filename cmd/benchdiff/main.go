@@ -1,0 +1,207 @@
+// Command benchdiff guards the simulator's performance envelope: it
+// runs the engine microbenchmarks, parses the standard `go test -bench`
+// output, and compares each ns/op against the committed baseline in
+// BENCH_engine.json. A benchmark slower than the baseline by more than
+// the threshold fails the run (exit 1), so an accidental hot-loop
+// regression is caught before the numbers in the JSON go stale.
+//
+// Usage:
+//
+//	benchdiff                      # run benchmarks, compare at 10%
+//	benchdiff -threshold 0.25      # looser gate
+//	benchdiff -input bench.txt     # compare pre-recorded output instead
+//
+// Sub-nanosecond baselines are skipped: at that scale the measurement
+// is dominated by loop overhead and scheduler noise, not by the code
+// under test.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the slice of BENCH_engine.json benchdiff consumes.
+type baseline struct {
+	Microbenchmarks map[string]struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"microbenchmarks"`
+}
+
+// benchPackages lists where the baselined microbenchmarks live; kept in
+// sync with the `microbench` Makefile target (minus the minutes-long
+// end-to-end figure run, which has no ns_per_op entry to gate on).
+var benchPackages = []struct{ pattern, pkg string }{
+	{"BenchmarkSchedulePop|BenchmarkEngineStep", "./internal/sim"},
+	{"BenchmarkDRAMTick", "./internal/dram"},
+}
+
+// subNanosecond is the noise floor below which comparisons are
+// meaningless: BenchmarkEngineStepSparse measures ~0.016 ns/op because
+// fast-forward amortizes one pop over thousands of cycles.
+const subNanosecond = 1.0
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_engine.json", "committed baseline to compare against")
+	threshold := flag.Float64("threshold", 0.10, "fractional ns/op regression that fails the gate")
+	input := flag.String("input", "", "parse this pre-recorded `go test -bench` output instead of running benchmarks")
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var fresh map[string]float64
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		fresh, err = parseBench(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fresh, err = runBenchmarks()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	regressions, report := diff(base, fresh, *threshold)
+	fmt.Print(report)
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%\n", regressions, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within budget")
+}
+
+func loadBaseline(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc baseline
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Microbenchmarks) == 0 {
+		return nil, fmt.Errorf("%s carries no microbenchmarks", path)
+	}
+	out := make(map[string]float64, len(doc.Microbenchmarks))
+	for name, e := range doc.Microbenchmarks {
+		out[name] = e.NsPerOp
+	}
+	return out, nil
+}
+
+// runBenchmarks executes the gated benchmark sets and folds their
+// output into one result map.
+func runBenchmarks() (map[string]float64, error) {
+	all := map[string]float64{}
+	for _, set := range benchPackages {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", set.pattern, "-benchmem", set.pkg)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench %s %s: %w", set.pattern, set.pkg, err)
+		}
+		got, err := parseBench(strings.NewReader(string(out)))
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range got {
+			all[k] = v
+		}
+	}
+	return all, nil
+}
+
+// parseBench extracts ns/op per benchmark from standard `go test
+// -bench` output. The -N GOMAXPROCS suffix is stripped; when the same
+// benchmark appears multiple times (e.g. -count), the fastest run wins
+// — the minimum is the least noisy estimate of the code's cost.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Benchmark lines read: Name-N  iterations  X ns/op  [more pairs]
+		var ns float64
+		var found bool
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op %q in %q", fields[i], sc.Text())
+				}
+				ns, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// diff compares fresh results against the baseline and renders the
+// comparison table. It returns the number of regressions beyond the
+// threshold.
+func diff(base, fresh map[string]float64, threshold float64) (int, string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	regressions := 0
+	fmt.Fprintf(&b, "%-28s %12s %12s %8s\n", "benchmark", "baseline", "fresh", "delta")
+	for _, name := range names {
+		want := base[name]
+		got, ok := fresh[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(&b, "%-28s %12.4g %12s %8s\n", name, want, "missing", "-")
+		case want < subNanosecond:
+			fmt.Fprintf(&b, "%-28s %12.4g %12.4g %8s  (sub-ns, skipped)\n", name, want, got, "-")
+		default:
+			delta := (got - want) / want
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(&b, "%-28s %12.4g %12.4g %+7.1f%%%s\n", name, want, got, 100*delta, mark)
+		}
+	}
+	return regressions, b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

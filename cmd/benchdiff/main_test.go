@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const cannedBench = `goos: linux
+goarch: amd64
+pkg: dx100/internal/sim
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkSchedulePop-8     	31101847	        38.10 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineStepDense-8 	63293814	        18.90 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineStepSparse-8	1000000000	         0.017 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	dx100/internal/sim	4.5s
+BenchmarkDRAMTick-8        	  876543	      1400 ns/op	      12 B/op	       0 allocs/op
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(cannedBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSchedulePop":      38.10,
+		"BenchmarkEngineStepDense":  18.90,
+		"BenchmarkEngineStepSparse": 0.017,
+		"BenchmarkDRAMTick":         1400,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchKeepsFastestDuplicate(t *testing.T) {
+	in := "BenchmarkX-8 100 50.0 ns/op\nBenchmarkX-8 100 40.0 ns/op\nBenchmarkX-8 100 45.0 ns/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 40.0 {
+		t.Errorf("duplicate fold = %v, want the minimum 40.0", got["BenchmarkX"])
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkFast":   10.0,
+		"BenchmarkSubNs":  0.016, // below the noise floor: never gates
+		"BenchmarkAbsent": 25.0,
+	}
+	fresh := map[string]float64{
+		"BenchmarkFast":  10.5, // +5%: within a 10% budget
+		"BenchmarkSubNs": 5.0,  // 300x "slower" but skipped
+	}
+	n, report := diff(base, fresh, 0.10)
+	if n != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", n, report)
+	}
+	if !strings.Contains(report, "sub-ns, skipped") {
+		t.Errorf("report does not mark the sub-ns skip:\n%s", report)
+	}
+	if !strings.Contains(report, "missing") {
+		t.Errorf("report does not mark the missing benchmark:\n%s", report)
+	}
+
+	fresh["BenchmarkFast"] = 12.0 // +20%: beyond budget
+	n, report = diff(base, fresh, 0.10)
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", report)
+	}
+}
+
+func TestLoadBaselineFromRepoRoot(t *testing.T) {
+	base, err := loadBaseline("../../BENCH_engine.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"BenchmarkSchedulePop", "BenchmarkEngineStepDense", "BenchmarkDRAMTick"} {
+		if base[name] <= 0 {
+			t.Errorf("baseline %s = %v, want > 0", name, base[name])
+		}
+	}
+}

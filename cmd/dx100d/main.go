@@ -30,7 +30,9 @@ import (
 	"syscall"
 	"time"
 
+	"dx100/internal/obs/prof"
 	"dx100/internal/serve"
+	"dx100/internal/sim"
 )
 
 func main() {
@@ -41,18 +43,20 @@ func main() {
 		cacheDir   = flag.String("cache", "", "result cache directory (empty = in-memory only)")
 		timeout    = flag.Duration("timeout", 0, "per-job wall-clock budget (0 = none)")
 		figWorkers = flag.Int("figworkers", 0, "per-figure experiment pool width (0 = one per CPU)")
+		profWin    = flag.Int64("profile-window", int64(prof.DefaultWindow), "telemetry sampling interval in cycles for run jobs: live `timeline` SSE events plus GET /v1/runs/{id}/timeline (0 = off)")
 		drain      = flag.Duration("drain", 2*time.Minute, "graceful-shutdown budget before in-flight jobs are canceled")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "dx100d: ", log.LstdFlags)
 
 	srv, err := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		JobTimeout: *timeout,
-		CacheDir:   *cacheDir,
-		FigWorkers: *figWorkers,
-		Log:        logger,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		JobTimeout:    *timeout,
+		CacheDir:      *cacheDir,
+		FigWorkers:    *figWorkers,
+		ProfileWindow: sim.Cycle(*profWin),
+		Log:           logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dx100d:", err)

@@ -27,27 +27,31 @@ import (
 	"dx100/internal/exp"
 	"dx100/internal/loopir"
 	"dx100/internal/obs"
+	"dx100/internal/obs/prof"
+	"dx100/internal/sim"
 	"dx100/internal/workloads"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list workloads with their Table 1 patterns")
-		config  = flag.Bool("config", false, "print the Table 3 system configuration")
-		table4  = flag.Bool("table4", false, "print the Table 4 area/power model")
-		run     = flag.String("run", "", "run one workload by name")
-		mode    = flag.String("mode", "dx100", "system: baseline, dmp or dx100")
-		scale   = flag.Int("scale", 4, "dataset scale factor (1 = smoke test, 8+ = evaluation)")
-		fig     = flag.String("fig", "", "regenerate a figure: 8a, 8bc, 9, 10, 11, 12, 13, 14, ablation or all")
-		names   = flag.String("workloads", "", "comma-separated workload subset for -fig")
-		jobs    = flag.Int("jobs", 0, "concurrent experiment runs (0 = one per CPU, 1 = serial)")
-		verbose = flag.Bool("v", false, "dump raw statistics after -run")
-		asJSON  = flag.Bool("json", false, "emit -run results as JSON (the dx100d wire form)")
-		trace   = flag.String("trace", "", "with -run, stream the event trace to this file (.json = Chrome trace_event for chrome://tracing or Perfetto; anything else = JSON Lines)")
-		metrics = flag.String("metrics", "", "with -run, write the full metrics snapshot to this file (.json = JSON; anything else = Prometheus text)")
-		noFF    = flag.Bool("noff", false, "disable idle-cycle fast-forward (exact stepping; results are identical)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		list     = flag.Bool("list", false, "list workloads with their Table 1 patterns")
+		config   = flag.Bool("config", false, "print the Table 3 system configuration")
+		table4   = flag.Bool("table4", false, "print the Table 4 area/power model")
+		run      = flag.String("run", "", "run one workload by name")
+		mode     = flag.String("mode", "dx100", "system: baseline, dmp or dx100")
+		scale    = flag.Int("scale", 4, "dataset scale factor (1 = smoke test, 8+ = evaluation)")
+		fig      = flag.String("fig", "", "regenerate a figure: 8a, 8bc, 9, 10, 11, 12, 13, 14, ablation or all")
+		names    = flag.String("workloads", "", "comma-separated workload subset for -fig")
+		jobs     = flag.Int("jobs", 0, "concurrent experiment runs (0 = one per CPU, 1 = serial)")
+		verbose  = flag.Bool("v", false, "dump raw statistics after -run")
+		asJSON   = flag.Bool("json", false, "emit -run results as JSON (the dx100d wire form)")
+		trace    = flag.String("trace", "", "with -run, stream the event trace to this file (.json = Chrome trace_event for chrome://tracing or Perfetto; anything else = JSON Lines)")
+		metrics  = flag.String("metrics", "", "with -run, write the full metrics snapshot to this file (.json = JSON; anything else = Prometheus text)")
+		profWin  = flag.Int64("profile-window", 0, "with -run, sample a telemetry timeline every N cycles and attribute core cycles to stall causes (0 = off)")
+		timeline = flag.String("timeline", "", "with -run, write the sampled timeline and stall breakdown to this JSON file (implies profiling at the default window)")
+		noFF     = flag.Bool("noff", false, "disable idle-cycle fast-forward (exact stepping; results are identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	exp.SetParallelism(*jobs)
@@ -84,7 +88,11 @@ func main() {
 	case *table4:
 		printTable4()
 	case *run != "":
-		runOne(*run, *mode, *scale, *verbose, *asJSON, *trace, *metrics)
+		runOne(*run, *mode, *scale, runFlags{
+			verbose: *verbose, asJSON: *asJSON,
+			trace: *trace, metrics: *metrics,
+			profileWindow: *profWin, timeline: *timeline,
+		})
 	case *fig != "":
 		runFigure(*fig, *scale, subset(*names))
 	default:
@@ -134,25 +142,37 @@ func printTable4() {
 	fmt.Print(out)
 }
 
-func runOne(name, modeStr string, scale int, verbose, asJSON bool, traceFile, metricsFile string) {
+// runFlags carries the -run output options from the flag block.
+type runFlags struct {
+	verbose, asJSON bool
+	trace, metrics  string
+	profileWindow   int64
+	timeline        string
+}
+
+func runOne(name, modeStr string, scale int, f runFlags) {
 	m, err := exp.ParseMode(modeStr)
 	if err != nil {
 		fatal(err)
 	}
 	var opts exp.RunOptions
 	var traceOut *os.File
-	if traceFile != "" {
-		traceOut, err = os.Create(traceFile)
+	if f.trace != "" {
+		traceOut, err = os.Create(f.trace)
 		if err != nil {
 			fatal(err)
 		}
 		sink := obs.NewSink(0)
-		if strings.HasSuffix(traceFile, ".json") {
+		if strings.HasSuffix(f.trace, ".json") {
 			sink.SpillChrome(traceOut)
 		} else {
 			sink.SpillJSONL(traceOut)
 		}
 		opts.Trace = sink
+	}
+	opts.ProfileWindow = sim.Cycle(f.profileWindow)
+	if f.timeline != "" && opts.ProfileWindow == 0 {
+		opts.ProfileWindow = prof.DefaultWindow
 	}
 	res, err := exp.RunOpts(name, scale, exp.Default(m), opts)
 	if err != nil {
@@ -166,12 +186,17 @@ func runOne(name, modeStr string, scale int, verbose, asJSON bool, traceFile, me
 			fatal(err)
 		}
 	}
-	if metricsFile != "" {
-		if err := writeMetrics(metricsFile, res); err != nil {
+	if f.metrics != "" {
+		if err := writeMetrics(f.metrics, res); err != nil {
 			fatal(err)
 		}
 	}
-	if asJSON {
+	if f.timeline != "" {
+		if err := writeTimeline(f.timeline, res); err != nil {
+			fatal(err)
+		}
+	}
+	if f.asJSON {
 		// The exact bytes dx100d serves for the same spec — the two
 		// paths share exp.ResultJSON and the simulator is deterministic.
 		b, err := exp.ResultJSON(res)
@@ -188,9 +213,36 @@ func runOne(name, modeStr string, scale int, verbose, asJSON bool, traceFile, me
 	fmt.Printf("  row-buffer hits:    %.1f%%\n", 100*res.RBH)
 	fmt.Printf("  buffer occupancy:   %.1f%%\n", 100*res.Occupancy)
 	fmt.Printf("  L1 MPKI:            %.2f\n", res.MPKI)
-	if verbose {
+	if res.Timeline != nil {
+		fmt.Println()
+		res.Timeline.WriteReport(os.Stdout)
+		fmt.Println()
+		res.Stalls.WriteReport(os.Stdout)
+	}
+	if f.verbose {
 		fmt.Println(res.Stats)
 	}
+}
+
+// writeTimeline dumps the sampled timeline and the stall breakdown as
+// one indented JSON document — the same objects a profiled Result
+// carries on the wire, without the rest of the Result around them.
+func writeTimeline(path string, res exp.Result) error {
+	doc := struct {
+		Timeline *prof.Timeline  `json:"timeline"`
+		Stalls   *prof.Breakdown `json:"stall_breakdown"`
+	}{res.Timeline, res.Stalls}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeMetrics encodes the run's full metrics snapshot (counters plus

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dx100/internal/obs/prof"
+)
+
+func TestSubset(t *testing.T) {
+	if got := subset(""); got != nil {
+		t.Errorf("subset(\"\") = %v, want nil", got)
+	}
+	if got := subset("IS,GZZ"); !reflect.DeepEqual(got, []string{"IS", "GZZ"}) {
+		t.Errorf("subset = %v", got)
+	}
+}
+
+// TestInfoCommands just exercises the informational printers; their
+// content is pinned by the underlying packages' own tests.
+func TestInfoCommands(t *testing.T) {
+	listWorkloads()
+	printConfig()
+	printTable4()
+}
+
+// TestRunOneProfiled drives the full -run path with every output flag
+// set: trace, metrics, profile window and timeline file, then checks
+// the artifacts parse.
+func TestRunOneProfiled(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.jsonl")
+	metricsFile := filepath.Join(dir, "m.json")
+	timelineFile := filepath.Join(dir, "tl.json")
+	runOne("micro.gather", "dx100", 1, runFlags{
+		verbose:       true,
+		trace:         traceFile,
+		metrics:       metricsFile,
+		profileWindow: 8192,
+		timeline:      timelineFile,
+	})
+	for _, p := range []string{traceFile, metricsFile, timelineFile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	b, err := os.ReadFile(timelineFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Timeline *prof.Timeline  `json:"timeline"`
+		Stalls   *prof.Breakdown `json:"stall_breakdown"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Timeline == nil || doc.Timeline.Len() == 0 || doc.Stalls == nil {
+		t.Fatalf("timeline file missing data: %+v", doc)
+	}
+}
+
+// TestRunOneJSON covers the -json path (the dx100d wire form).
+func TestRunOneJSON(t *testing.T) {
+	runOne("micro.gather", "baseline", 1, runFlags{asJSON: true})
+}
+
+// TestRunFigure covers the figure dispatcher on a fast subset.
+func TestRunFigure(t *testing.T) {
+	runFigure("9", 1, []string{"micro.gather"})
+}

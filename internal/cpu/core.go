@@ -3,6 +3,7 @@ package cpu
 import (
 	"dx100/internal/cache"
 	"dx100/internal/memspace"
+	"dx100/internal/obs/prof"
 	"dx100/internal/sim"
 )
 
@@ -95,6 +96,18 @@ type Core struct {
 
 	finished bool
 
+	// Cycle attribution (simprof). account is nil unless a profiler is
+	// attached; the bookkeeping below is maintained unconditionally
+	// because it is a handful of integer/bool writes that never feed
+	// back into scheduling decisions (the exp result-neutrality test
+	// pins that profiled and plain runs are byte-identical).
+	account *prof.CoreAccount
+	acted   bool // retired/fetched/issued something this tick
+	// depWaiting counts window entries whose dependences are still
+	// outstanding — the signal that separates dependence-serialized
+	// stalls (DepIndirect) from plain memory-latency stalls.
+	depWaiting int
+
 	cCycles *sim.Counter
 	cSpin   *sim.Counter
 	cInstr  *sim.Counter
@@ -133,6 +146,12 @@ func (c *Core) Run(s Stream) {
 	c.finished = false
 }
 
+// AttachProfile points the core's cycle attribution at a. Every
+// counted cycle from then on lands in exactly one bucket of a, so the
+// bucket sum equals the cycles counter (the conservation invariant).
+// A nil account (the default) keeps the tick path at one branch.
+func (c *Core) AttachProfile(a *prof.CoreAccount) { c.account = a }
+
 // Done reports whether the core has retired its whole stream.
 func (c *Core) Done() bool {
 	return (c.stream == nil || c.streamDone) && !c.hasPending && c.head == c.tail && c.inflight == 0
@@ -150,11 +169,22 @@ func (c *Core) Tick(now sim.Cycle) bool {
 		return false
 	}
 	c.cCycles.Inc()
+	c.acted = false
 	c.retire()
 	c.fetch()
 	c.issueBarrier()
 	c.issueALU(now)
 	c.issueMem(now)
+	if c.account != nil {
+		// Attribute before the done check below: a cycle that retires
+		// the last µop was counted and must land in a bucket (Busy,
+		// since retiring sets acted).
+		if c.acted {
+			c.account.Add(prof.Busy, 1)
+		} else {
+			c.account.Add(c.stallBucket(), 1)
+		}
+	}
 	if c.Done() {
 		if !c.finished {
 			c.finished = true
@@ -175,6 +205,49 @@ func (c *Core) spinningBarrier() bool {
 	}
 	e := c.at(c.head)
 	return e.op.Kind == Barrier && e.state == stReady && e.op.Ready != nil && !e.op.Ready()
+}
+
+// stallBucket classifies a counted cycle in which the core made no
+// progress. The checks are ordered by root cause rather than proximate
+// mechanism, and the first match wins, which is what makes the buckets
+// exclusive and the attribution exact: spinning synchronization, then
+// memory-queue capacity (LQ/SQ), then the memory-bound states —
+// dependence serialization behind outstanding accesses (the indirect
+// chase) or plain outstanding memory — and only then window capacity
+// (ROB). The ordering matters: on an indirect-heavy baseline the ROB
+// is full *because* it is stuffed with in-flight loads, so attributing
+// that cycle to rob_full would hide the memory story behind a
+// structural symptom (Top-Down-style attribution charges it to
+// memory; ROBFull is reserved for the pure capacity limit with no
+// memory outstanding). Every predicate reads frozen scheduling state
+// the tick already consulted — classification cannot perturb the
+// model.
+func (c *Core) stallBucket() prof.Bucket {
+	if c.spinningBarrier() {
+		return prof.Spin
+	}
+	if c.readyMem.len() > 0 && !c.atomicPending {
+		e := c.at(c.readyMem.peek())
+		if (e.op.Kind == Load && c.lqUsed >= c.cfg.LQ) ||
+			(e.op.Kind == Store && c.sqUsed >= c.cfg.SQ) {
+			return prof.LQSQFull
+		}
+	}
+	if c.inflight > 0 {
+		// Memory outstanding. If nothing is ready to issue and entries
+		// are dependence-blocked, the window is serialized behind the
+		// in-flight accesses — the indirect-load chain the paper's §2
+		// identifies. Otherwise the core has exposed all the MLP it can
+		// (even if the ROB filled doing so) and is waiting on DRAM.
+		if c.readyMem.len() == 0 && c.readyALU.len() == 0 && c.depWaiting > 0 {
+			return prof.DepIndirect
+		}
+		return prof.DRAMBound
+	}
+	if c.hasPending && c.robUsed+c.pending.weight() > c.cfg.ROB {
+		return prof.ROBFull
+	}
+	return prof.Other
 }
 
 // NextWake implements sim.WakeHinter. The core can advance on its own
@@ -245,6 +318,13 @@ func (c *Core) SkipCycles(from, to sim.Cycle) {
 	if c.spinningBarrier() {
 		c.cSpin.Add(n)
 	}
+	if c.account != nil {
+		// Core state is frozen across a jump (the engine only jumps
+		// over provably inert cycles), so each elided tick would have
+		// made no progress and classified identically: one bulk add is
+		// bit-identical to n stepped attributions.
+		c.account.Add(c.stallBucket(), uint64(to-from-1))
+	}
 }
 
 // retire removes completed ops in order, up to Width instruction
@@ -265,6 +345,7 @@ func (c *Core) retire() {
 		c.cInstr.Add(float64(w))
 		e.wakers = e.wakers[:0]
 		c.head++
+		c.acted = true
 	}
 }
 
@@ -299,6 +380,7 @@ func (c *Core) fetch() {
 		}
 		c.hasPending = false
 		budget -= w
+		c.acted = true
 		seq := c.tail
 		c.tail++
 		c.robUsed += w
@@ -321,6 +403,8 @@ func (c *Core) fetch() {
 		}
 		if e.waitCnt == 0 {
 			c.makeReady(seq)
+		} else {
+			c.depWaiting++
 		}
 	}
 }
@@ -349,6 +433,7 @@ func (c *Core) complete(seq uint64) {
 		we := c.at(w)
 		we.waitCnt--
 		if we.waitCnt == 0 && we.state == stWaiting {
+			c.depWaiting--
 			c.makeReady(w)
 		}
 	}
@@ -367,6 +452,7 @@ func (c *Core) issueBarrier() {
 	}
 	if e.op.Ready == nil || e.op.Ready() {
 		c.complete(c.head)
+		c.acted = true
 	} else {
 		c.cSpin.Inc()
 	}
@@ -379,6 +465,7 @@ func (c *Core) issueALU(now sim.Cycle) {
 		seq := c.readyALU.pop()
 		e := c.at(seq)
 		budget--
+		c.acted = true
 		e.state = stIssued
 		if e.op.Kind == Effect && e.op.Emit != nil {
 			e.op.Emit(now)
@@ -458,5 +545,6 @@ func (c *Core) issueMem(now sim.Cycle) {
 		}
 		c.readyMem.pop()
 		budget--
+		c.acted = true
 	}
 }

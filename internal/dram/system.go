@@ -93,6 +93,13 @@ func (s *System) QueueLen(pa memspace.PAddr) int {
 	return len(s.chans[s.m.Map(pa).Channel].queue)
 }
 
+// Channels returns the number of memory channels.
+func (s *System) Channels() int { return len(s.chans) }
+
+// ChannelQueueLen returns the instantaneous request-buffer occupancy
+// of channel i — the per-channel gauge the simprof timeline samples.
+func (s *System) ChannelQueueLen(i int) int { return len(s.chans[i].queue) }
+
 // Submit enqueues a request; it reports false (and does nothing) when
 // the target channel's request buffer is full, modeling the
 // back-pressure that limits a conventional core's visibility window.

@@ -12,6 +12,7 @@ import (
 	"dx100/internal/loopir"
 	"dx100/internal/memspace"
 	"dx100/internal/obs"
+	"dx100/internal/obs/prof"
 	"dx100/internal/prefetch"
 	"dx100/internal/sim"
 	"dx100/internal/workloads"
@@ -21,15 +22,22 @@ import (
 // 9-12 plot. The JSON form is the stable wire format shared by the
 // dx100sim -json flag and the dx100d service (see ResultJSON).
 type Result struct {
-	Workload     string     `json:"workload"`
-	Mode         Mode       `json:"mode"`
-	Cycles       sim.Cycle  `json:"cycles"`
-	Instructions float64    `json:"instructions"`
-	BWUtil       float64    `json:"bw_util"`
-	RBH          float64    `json:"row_buffer_hit"`
-	Occupancy    float64    `json:"occupancy"`
-	MPKI         float64    `json:"mpki"`
-	Stats        *sim.Stats `json:"stats,omitempty"`
+	Workload     string    `json:"workload"`
+	Mode         Mode      `json:"mode"`
+	Cycles       sim.Cycle `json:"cycles"`
+	Instructions float64   `json:"instructions"`
+	BWUtil       float64   `json:"bw_util"`
+	RBH          float64   `json:"row_buffer_hit"`
+	Occupancy    float64   `json:"occupancy"`
+	MPKI         float64   `json:"mpki"`
+	// Timeline and Stalls carry the simprof windowed telemetry and
+	// cycle attribution when the run was profiled (RunOptions.
+	// ProfileWindow > 0). Both are omitempty: an unprofiled run's wire
+	// form is byte-identical to the pre-simprof format, which the
+	// content-addressed cache and CLI/daemon identity rely on.
+	Timeline *prof.Timeline  `json:"timeline,omitempty"`
+	Stalls   *prof.Breakdown `json:"stall_breakdown,omitempty"`
+	Stats    *sim.Stats      `json:"stats,omitempty"`
 }
 
 // system is one assembled simulation.
@@ -176,6 +184,20 @@ type RunOptions struct {
 	// only — a run with a sink attached produces byte-identical Results
 	// (TestTraceResultNeutral pins this).
 	Trace *obs.Sink
+	// ProfileWindow, when positive, enables simprof: the run's Result
+	// gains a windowed telemetry Timeline (one row roughly every
+	// ProfileWindow simulated cycles) and a per-core stall Breakdown.
+	// Profiling is observation only — modulo the Timeline/Stalls fields
+	// themselves, a profiled run's Result is byte-identical to a plain
+	// run's (TestProfileResultNeutral pins this). Use
+	// prof.DefaultWindow when no particular resolution is needed.
+	ProfileWindow sim.Cycle
+	// OnSample, when non-nil (and profiling is enabled), observes every
+	// timeline row as it is recorded: the measurement-relative cycle,
+	// the probe names (shared slice, do not mutate) and the row values
+	// (valid only during the call). It runs on the simulating
+	// goroutine; dx100d uses it to stream live timeline events.
+	OnSample func(cycle uint64, names []string, values []float64)
 }
 
 // attachTrace hooks every component's emit sites to the sink. A nil
@@ -193,32 +215,49 @@ func (s *system) attachTrace(sink *obs.Sink) {
 	}
 }
 
-// installCheck wires the options into the engine's cooperative hook.
-// The hook only reads statistics counters, so installing it cannot
-// perturb results (TestCheckResultNeutral pins the engine side,
-// TestRunOptsResultNeutral the exp side).
-func (s *system) installCheck(opts RunOptions) {
-	if opts.Context == nil && opts.Progress == nil {
+// installCheck wires the options into the engine's cooperative hook,
+// composing up to three concerns with independent cadences:
+// cancellation polls on every check, progress samples at ProgressEvery,
+// and the profiler samples at its window. CheckEvery is the smallest
+// enabled cadence; each concern keeps its own next-due threshold, so
+// enabling profiling at a fine window does not multiply progress
+// events. The hook only reads statistics counters, so installing it
+// cannot perturb results (TestCheckResultNeutral pins the engine side,
+// TestRunOptsResultNeutral and TestProfileResultNeutral the exp side).
+func (s *system) installCheck(opts RunOptions, p *profiler) {
+	wantProgress := opts.Context != nil || opts.Progress != nil
+	if !wantProgress && p == nil {
 		return
 	}
 	interval := opts.ProgressEvery
 	if interval == 0 {
 		interval = 2_000_000
 	}
-	s.eng.CheckEvery = interval
+	var checkEvery sim.Cycle
+	if wantProgress {
+		checkEvery = interval
+	}
+	if p != nil {
+		if w := sim.Cycle(p.sampler.Window()); checkEvery == 0 || w < checkEvery {
+			checkEvery = w
+		}
+	}
+	s.eng.CheckEvery = checkEvery
 	instr := make([]*sim.Counter, s.cfg.Cores)
 	for i := range instr {
 		instr[i] = s.stats.Counter(fmt.Sprintf("core%d.instructions", i))
 	}
 	reads := s.stats.Counter("dram.reads")
 	writes := s.stats.Counter("dram.writes")
+	var nextProgress sim.Cycle
 	s.eng.Check = func(now sim.Cycle) error {
 		if opts.Context != nil {
 			if err := opts.Context.Err(); err != nil {
 				return fmt.Errorf("exp: run canceled at cycle %d: %w", now, err)
 			}
 		}
-		if opts.Progress != nil {
+		if opts.Progress != nil && now >= nextProgress {
+			nextProgress = now + interval
 			sum := 0.0
 			for _, c := range instr {
 				sum += c.Value()
@@ -230,6 +269,7 @@ func (s *system) installCheck(opts RunOptions) {
 				DRAMWrites:   writes.Value(),
 			})
 		}
+		p.maybeSample(now)
 		return nil
 	}
 }
@@ -308,7 +348,11 @@ func RunInstance(inst *workloads.Instance, cfg SystemConfig) (Result, error) {
 // cancellation and progress reporting.
 func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions) (Result, error) {
 	s := build(inst, cfg)
-	s.installCheck(opts)
+	var p *profiler
+	if opts.ProfileWindow > 0 {
+		p = newProfiler(s, opts)
+	}
+	s.installCheck(opts, p)
 	s.attachTrace(opts.Trace)
 	if cfg.WarmLLC {
 		if err := s.warmLLC(inst); err != nil {
@@ -316,6 +360,13 @@ func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions
 		}
 	}
 	start := s.eng.Now()
+	if p != nil {
+		// Arm after the warm-up: its statistics were just reset, so the
+		// first window's baselines belong to the measured run. The cores
+		// never tick while streamless, so the attribution accounts see
+		// exactly the measured cycles.
+		p.begin(start)
+	}
 	switch cfg.Mode {
 	case Baseline, DMP:
 		if err := s.attachBaselineStreams(inst); err != nil {
@@ -330,7 +381,11 @@ func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions
 	if err != nil {
 		return Result{}, fmt.Errorf("exp: %s/%s: %w", inst.Name, cfg.Mode, err)
 	}
-	return s.collect(inst.Name, end-start), nil
+	res := s.collect(inst.Name, end-start)
+	if p != nil {
+		res.Timeline, res.Stalls = p.finish(end)
+	}
+	return res, nil
 }
 
 // seqStream concatenates streams.

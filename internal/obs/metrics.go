@@ -347,6 +347,38 @@ type HistogramSnapshot struct {
 	Count  uint64    `json:"count"`
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucketed
+// distribution, interpolating linearly inside the bucket that contains
+// the target rank — the same estimate a Prometheus histogram_quantile
+// over these buckets would produce. The +Inf bucket clamps to the last
+// finite bound. Returns NaN for an empty histogram or q outside [0,1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q < 0 || q > 1 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Target rank lands in the +Inf bucket: the estimate is
+			// clamped to the largest finite bound.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Snapshot is a frozen, encodable view of a registry. Counters fold
 // plain (touched only), sync and func-backed counters together; Gauges
 // fold settable and func-backed gauges.

@@ -1,0 +1,142 @@
+// Package prof is simprof, the simulator profiling layer: a windowed
+// telemetry sampler that turns cumulative run statistics into
+// per-window timelines, and a cycle attribution accounter that
+// classifies every core cycle into exclusive stall buckets.
+//
+// The package deliberately depends on nothing but the standard
+// library: the cpu package holds a *CoreAccount and bumps it from its
+// tick path, the exp package owns the sampler and its probes, and the
+// serve/cmd layers render or ship the resulting Timeline/Breakdown
+// values. Everything here is observation-only — attaching a profiler
+// must never change simulated results (the exp result-neutrality test
+// pins this), and a nil *CoreAccount / nil *Sampler costs exactly one
+// branch on the paths that consult it.
+package prof
+
+import "fmt"
+
+// Bucket is one exclusive cycle-attribution class. Every counted core
+// cycle lands in exactly one bucket, so per-core bucket counts sum to
+// the core's total cycles (the conservation invariant the exp test
+// enforces). The taxonomy mirrors the bottleneck decomposition of the
+// paper's evaluation: Busy is retiring/issuing work, ROBFull and
+// LQSQFull are core-side MLP limits (§2, Fig. 2), DepIndirect is the
+// serialized pointer-chase the accelerator exists to break, DRAMBound
+// is outstanding memory with no dependence serialization, Spin is
+// synchronization, Other is the small remainder (front-end gaps, ALU
+// latency shadows). Classification is by root cause: the memory-bound
+// buckets take precedence over ROBFull, so a window that filled up
+// behind outstanding indirect loads is charged to the memory system,
+// not to ROB capacity.
+type Bucket uint8
+
+const (
+	// Busy: the core retired, fetched, or issued at least one µop this
+	// cycle.
+	Busy Bucket = iota
+	// Spin: the window head is a barrier polling a predicate that does
+	// not yet hold.
+	Spin
+	// ROBFull: fetch stalled because the reorder buffer cannot hold
+	// the next µop and no memory is outstanding — the pure window-
+	// capacity limit. (A full ROB with loads in flight is charged to
+	// DepIndirect/DRAMBound instead: the capacity shortage is a
+	// symptom of memory latency there, not the root cause.)
+	ROBFull
+	// LQSQFull: the oldest ready memory op cannot issue because its
+	// load- or store-queue is at capacity.
+	LQSQFull
+	// DepIndirect: memory is outstanding and every unissued µop waits
+	// on a dependence chain through it — the serialized indirect-access
+	// signature (MLP limited by address dependences, not capacity).
+	DepIndirect
+	// DRAMBound: memory is outstanding and nothing else explains the
+	// stall — the core is simply waiting on the memory system.
+	DRAMBound
+	// Other: no progress and no memory outstanding (front-end gaps,
+	// ALU-latency shadows, atomic fencing edges).
+	Other
+
+	// NumBuckets is the number of attribution classes.
+	NumBuckets
+)
+
+// bucketNames fixes the wire and display names of the buckets.
+var bucketNames = [NumBuckets]string{
+	Busy:        "busy",
+	Spin:        "spin",
+	ROBFull:     "rob_full",
+	LQSQFull:    "lq_sq_full",
+	DepIndirect: "dep_indirect",
+	DRAMBound:   "dram_bound",
+	Other:       "other",
+}
+
+// String returns the bucket's stable name ("busy", "rob_full", ...).
+func (b Bucket) String() string {
+	if b < NumBuckets {
+		return bucketNames[b]
+	}
+	return fmt.Sprintf("bucket(%d)", uint8(b))
+}
+
+// BucketNames returns the bucket names in Bucket order — the column
+// schema of a Breakdown.
+func BucketNames() []string {
+	out := make([]string, NumBuckets)
+	copy(out, bucketNames[:])
+	return out
+}
+
+// CoreAccount accumulates one core's cycle attribution. The core holds
+// a pointer and bumps it from its tick (one add per cycle) and
+// fast-forward (one bulk add per jump) paths; nothing here allocates
+// or synchronizes, matching the simulator's single-goroutine regime.
+type CoreAccount struct {
+	Counts [NumBuckets]uint64
+}
+
+// Add attributes n cycles to bucket b.
+func (a *CoreAccount) Add(b Bucket, n uint64) { a.Counts[b] += n }
+
+// Total returns the cycles accounted so far — by construction the
+// core's counted cycles.
+func (a *CoreAccount) Total() uint64 {
+	var t uint64
+	for _, c := range a.Counts {
+		t += c
+	}
+	return t
+}
+
+// Breakdown is the per-run stall attribution: one row of bucket counts
+// per core, in Bucket order. It is part of the Result wire form
+// (omitempty), so field names are stable.
+type Breakdown struct {
+	Buckets []string   `json:"buckets"`
+	Cores   [][]uint64 `json:"cores"`
+}
+
+// NewBreakdown folds per-core accounts into a Breakdown.
+func NewBreakdown(accounts []*CoreAccount) *Breakdown {
+	b := &Breakdown{Buckets: BucketNames(), Cores: make([][]uint64, len(accounts))}
+	for i, a := range accounts {
+		row := make([]uint64, NumBuckets)
+		copy(row, a.Counts[:])
+		b.Cores[i] = row
+	}
+	return b
+}
+
+// Totals sums the per-core rows into one aggregate row.
+func (b *Breakdown) Totals() []uint64 {
+	t := make([]uint64, len(b.Buckets))
+	for _, row := range b.Cores {
+		for i, c := range row {
+			if i < len(t) {
+				t[i] += c
+			}
+		}
+	}
+	return t
+}

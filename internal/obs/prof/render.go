@@ -1,0 +1,166 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block-element levels of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as unicode block elements, scaled from zero
+// to the series maximum (an all-zero series is a flat baseline). It is
+// the terminal view of one timeline series.
+func Sparkline(values []float64) string {
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := 0
+		if max > 0 && v > 0 {
+			i = int(v / max * float64(len(sparkRunes)-1))
+			if i >= len(sparkRunes) {
+				i = len(sparkRunes) - 1
+			}
+			if i < 0 {
+				i = 0
+			}
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// sparkWidth caps the report sparkline width; longer series are
+// down-sampled by taking the mean of each chunk so the overall shape
+// survives.
+const sparkWidth = 60
+
+func condense(values []float64) []float64 {
+	if len(values) <= sparkWidth {
+		return values
+	}
+	out := make([]float64, sparkWidth)
+	for i := range out {
+		lo := i * len(values) / sparkWidth
+		hi := (i + 1) * len(values) / sparkWidth
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// WriteReport renders the timeline as an aligned terminal report: one
+// line per series with min/mean/max and a sparkline.
+func (t *Timeline) WriteReport(w io.Writer) error {
+	if t == nil || t.Len() == 0 {
+		_, err := fmt.Fprintln(w, "timeline: no samples recorded")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "timeline: %d windows of ~%d cycles (span %d)\n",
+		t.Len(), t.Window, t.Cycles[len(t.Cycles)-1]); err != nil {
+		return err
+	}
+	width := 0
+	for _, s := range t.Series {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range t.Series {
+		min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+		for _, v := range s.Values {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+			sum += v
+		}
+		mean := sum / float64(len(s.Values))
+		if _, err := fmt.Fprintf(w, "  %-*s  min %-12s mean %-12s max %-12s %s\n",
+			width, s.Name, fmtVal(min), fmtVal(mean), fmtVal(max), Sparkline(condense(s.Values))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtVal renders a report value compactly: fixed-point for readable
+// magnitudes, scientific for the extremes.
+func fmtVal(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e7 || av < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// WriteReport renders the stall attribution as per-core percentage
+// rows plus an aggregate, in bucket order.
+func (b *Breakdown) WriteReport(w io.Writer) error {
+	if b == nil || len(b.Cores) == 0 {
+		_, err := fmt.Fprintln(w, "stall breakdown: no cores profiled")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "cycle attribution (%% of core cycles)\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-6s", "core"); err != nil {
+		return err
+	}
+	for _, name := range b.Buckets {
+		if _, err := fmt.Fprintf(w, "  %12s", name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	row := func(label string, counts []uint64) error {
+		total := uint64(0)
+		for _, c := range counts {
+			total += c
+		}
+		if _, err := fmt.Fprintf(w, "  %-6s", label); err != nil {
+			return err
+		}
+		for _, c := range counts {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(c) / float64(total)
+			}
+			if _, err := fmt.Fprintf(w, "  %11.1f%%", pct); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "  (%d cycles)\n", total)
+		return err
+	}
+	for i, counts := range b.Cores {
+		if err := row(fmt.Sprint(i), counts); err != nil {
+			return err
+		}
+	}
+	if len(b.Cores) > 1 {
+		if err := row("all", b.Totals()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

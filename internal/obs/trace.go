@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -38,6 +39,13 @@ const (
 	// EvFastForward is an engine clock jump over provably idle cycles.
 	// Cycle is the jump origin; args: to, skipped.
 	EvFastForward
+	// EvProfCounter is one simprof timeline sample: Src is the probe
+	// name and Args[0] holds math.Float64bits of the value. The
+	// encoders decode it back to a float — in Chrome trace_event form
+	// it becomes a "C" (counter) event, which viewers render as a
+	// counter track overlaying the instant/duration events of the same
+	// trace.
+	EvProfCounter
 
 	numKinds
 )
@@ -58,6 +66,18 @@ var kindMeta = [numKinds]struct {
 	EvDXEnqueue:   {"dx100", "enqueue", []string{"op", "queue_len"}},
 	EvDXDrain:     {"dx100", "drain", []string{"op", "queue_len"}},
 	EvFastForward: {"engine", "fast_forward", []string{"to", "skipped"}},
+	EvProfCounter: {"prof", "counter", []string{"value"}},
+}
+
+// CounterEvent builds an EvProfCounter sample: name becomes Src, the
+// float value is bit-packed into Args[0] (the encoders unpack it).
+func CounterEvent(cycle uint64, name string, value float64) Event {
+	return Event{
+		Cycle: cycle,
+		Kind:  EvProfCounter,
+		Src:   name,
+		Args:  [6]int64{int64(math.Float64bits(value))},
+	}
 }
 
 // Category returns the kind's category ("dram", "cache", "dx100",
@@ -327,6 +347,13 @@ func appendJSONL(b []byte, ev Event) []byte {
 	b = append(b, `","src":`...)
 	b = strconv.AppendQuote(b, ev.Src)
 	b = append(b, `,"args":{`...)
+	if ev.Kind == EvProfCounter {
+		// The single arg is a bit-packed float, not an integer.
+		b = append(b, `"value":`...)
+		b = appendProfValue(b, ev)
+		b = append(b, "}}"...)
+		return b
+	}
 	for i, an := range m.args {
 		if i > 0 {
 			b = append(b, ',')
@@ -340,6 +367,13 @@ func appendJSONL(b []byte, ev Event) []byte {
 	return b
 }
 
+// appendProfValue decodes an EvProfCounter's bit-packed float and
+// renders it as a JSON number (non-finite values cannot arise: the
+// sampler's ratio probes define 0/0 as 0).
+func appendProfValue(b []byte, ev Event) []byte {
+	return strconv.AppendFloat(b, math.Float64frombits(uint64(ev.Args[0])), 'g', -1, 64)
+}
+
 // appendChrome renders one event as a Chrome trace_event object.
 // DRAM/cache/dx100 events are instants ("ph":"i"); fast-forward jumps
 // are complete events ("ph":"X") whose duration is the skipped span,
@@ -348,6 +382,18 @@ func appendJSONL(b []byte, ev Event) []byte {
 // channel in the viewer) and 0 otherwise.
 func appendChrome(b []byte, ev Event) []byte {
 	m := kindMeta[ev.Kind]
+	if ev.Kind == EvProfCounter {
+		// Counter events ("ph":"C") are named by the probe so each one
+		// gets its own counter track in the viewer.
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, ev.Src)
+		b = append(b, `,"cat":"prof","ph":"C","ts":`...)
+		b = strconv.AppendUint(b, ev.Cycle, 10)
+		b = append(b, `,"pid":0,"args":{"value":`...)
+		b = appendProfValue(b, ev)
+		b = append(b, "}}"...)
+		return b
+	}
 	tid := int64(0)
 	if ev.Kind <= EvDRAMRefresh {
 		tid = ev.Args[0]

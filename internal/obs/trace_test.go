@@ -148,12 +148,12 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 	}
 	var doc struct {
 		TraceEvents []struct {
-			Name string           `json:"name"`
-			Ph   string           `json:"ph"`
-			Ts   float64          `json:"ts"`
-			Tid  int64            `json:"tid"`
-			Dur  *float64         `json:"dur"`
-			Args map[string]any   `json:"args"`
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Tid  int64          `json:"tid"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {

@@ -86,7 +86,7 @@ func TestCacheRejectsInvalidKeys(t *testing.T) {
 		"",
 		"short",
 		"../../../etc/passwd",
-		testKey("x")[:63] + "G",                     // uppercase hex digit
+		testKey("x")[:63] + "G", // uppercase hex digit
 		testKey("x")[:40] + "/" + testKey("x")[:23], // separator
 	}
 	for _, key := range bad {

@@ -47,12 +47,13 @@ type job struct {
 	wantCancel bool
 	result     json.RawMessage
 	errMsg     string
-	progress json.RawMessage // most recent progress payload, if any
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc
-	subs     map[chan event]struct{}
-	done     chan struct{} // closed on entering a terminal state
+	progress   json.RawMessage // most recent progress payload, if any
+	timeline   json.RawMessage // finished timeline doc for profiled runs
+	started    time.Time
+	finished   time.Time
+	cancel     context.CancelFunc
+	subs       map[chan event]struct{}
+	done       chan struct{} // closed on entering a terminal state
 }
 
 func newJob(id, kind string) *job {
@@ -162,6 +163,29 @@ func (j *job) publishProgress(data json.RawMessage) {
 		default:
 		}
 	}
+	j.mu.Unlock()
+}
+
+// publishTimeline fans one sampled telemetry row out to subscribers as
+// a `timeline` event. Like progress, rows are dropped on slow
+// subscribers — the complete timeline is served after the run via
+// GET /v1/runs/{id}/timeline.
+func (j *job) publishTimeline(data json.RawMessage) {
+	j.mu.Lock()
+	for ch := range j.subs {
+		select {
+		case ch <- event{name: "timeline", data: data}:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// setTimeline stores the finished timeline document for the timeline
+// endpoint.
+func (j *job) setTimeline(doc json.RawMessage) {
+	j.mu.Lock()
+	j.timeline = doc
 	j.mu.Unlock()
 }
 

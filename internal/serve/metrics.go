@@ -57,12 +57,21 @@ func (s *Server) initMetrics() {
 
 // handleMetrics serves the daemon's service-level metrics in Prometheus
 // text exposition format: queue depth, in-flight jobs, cache size and
-// hit count, simulations executed, job duration distribution.
+// hit count, simulations executed, job duration distribution plus its
+// estimated p50/p95/p99.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snap := s.metrics.reg.Snapshot()
 	if err := snap.WritePrometheus(w, "dx100d_"); err != nil {
 		s.logf("metrics write: %v", err)
+	}
+	// Summary-style quantile estimates beside the raw buckets, so a
+	// plain scrape shows job latency without a histogram_quantile query.
+	if h, ok := snap.Histograms["job.duration_seconds"]; ok && h.Count > 0 {
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "dx100d_job_duration_seconds_quantile{quantile=%q} %g\n",
+				fmt.Sprintf("%g", q), h.Quantile(q))
+		}
 	}
 }
 

@@ -97,6 +97,14 @@ func TestMetricsEndpointExposesServiceGauges(t *testing.T) {
 	if co != "1" && ch != "1" {
 		t.Errorf("repeat submission uncounted: coalesced=%q cache_hits=%q", co, ch)
 	}
+	// With one observation recorded, the summary-style quantile
+	// estimates appear beside the raw buckets.
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		series := fmt.Sprintf("dx100d_job_duration_seconds_quantile{quantile=%q}", q)
+		if !strings.Contains(out, series) {
+			t.Errorf("/metrics missing %s:\n%s", series, out)
+		}
+	}
 }
 
 func TestRunMetricsEndpoint(t *testing.T) {

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dx100/internal/exp"
+)
+
+// TestProfiledRunTimelineEndpoint checks a profiling server end to
+// end: the served Result stays byte-identical to the unprofiled CLI
+// path, and GET /v1/runs/{id}/timeline returns the finished timeline
+// plus a conserving stall breakdown.
+func TestProfiledRunTimelineEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{ProfileWindow: 8192})
+	sr, code := postRun(t, ts, `{"workload":"micro.gather","mode":"dx100","scale":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	v := pollDone(t, ts, sr.ID)
+	if v.Status != StateDone {
+		t.Fatalf("status = %s (err %q), want done", v.Status, v.Error)
+	}
+
+	// The profile must never leak into the Result: these are the same
+	// bytes an unprofiled `dx100sim -run micro.gather -json` prints.
+	res, err := exp.Run("micro.gather", 1, exp.Default(exp.DX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exp.ResultJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Result, want) {
+		t.Fatalf("profiled server result differs from unprofiled CLI path:\nserver: %s\ncli:    %s", v.Result, want)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + sr.ID + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline status = %d, want 200", resp.StatusCode)
+	}
+	var doc timelineDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Timeline == nil || doc.Timeline.Len() == 0 {
+		t.Fatal("timeline endpoint returned no windows")
+	}
+	if doc.Timeline.Window != 8192 {
+		t.Errorf("window = %d, want 8192", doc.Timeline.Window)
+	}
+	if doc.Stalls == nil || len(doc.Stalls.Cores) == 0 {
+		t.Fatal("timeline endpoint returned no stall breakdown")
+	}
+	var total uint64
+	for _, n := range doc.Stalls.Totals() {
+		total += n
+	}
+	if total == 0 {
+		t.Error("stall breakdown attributes zero cycles")
+	}
+}
+
+// TestTimelineNotFound pins the 404 cases: unknown runs, and finished
+// runs on a server that does not profile.
+func TestTimelineNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{}) // ProfileWindow zero: no profiling
+	resp, err := http.Get(ts.URL + "/v1/runs/deadbeef/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run timeline status = %d, want 404", resp.StatusCode)
+	}
+
+	sr, _ := postRun(t, ts, `{"workload":"micro.gather","scale":1}`)
+	pollDone(t, ts, sr.ID)
+	resp, err = http.Get(ts.URL + "/v1/runs/" + sr.ID + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unprofiled run timeline status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestEventsStreamTimeline subscribes to a profiled run's SSE stream
+// and asserts timeline rows are interleaved without terminating the
+// stream: the last event is still the job's terminal state.
+func TestEventsStreamTimeline(t *testing.T) {
+	_, ts := newTestServer(t, Config{ProfileWindow: 1024})
+	sr, _ := postRun(t, ts, `{"workload":"micro.gather","scale":2}`)
+	resp, err := http.Get(ts.URL + "/v1/runs/" + sr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []string
+	var rows int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			events = append(events, name)
+			continue
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok && len(events) > 0 && events[len(events)-1] == "timeline" {
+			var row timelineRow
+			if err := json.Unmarshal([]byte(data), &row); err != nil {
+				t.Fatalf("bad timeline row %q: %v", data, err)
+			}
+			if len(row.Values) == 0 {
+				t.Fatalf("timeline row %q carries no values", data)
+			}
+			rows++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events received")
+	}
+	if last := events[len(events)-1]; last != string(StateDone) {
+		t.Fatalf("last event = %q, want done (stream: %v)", last, events)
+	}
+	for _, name := range events[:len(events)-1] {
+		if name != "progress" && name != "timeline" {
+			t.Fatalf("unexpected mid-stream event %q (stream: %v)", name, events)
+		}
+	}
+	// The subscriber may attach after early windows were published, but
+	// a 2048-cycle window over a ~50k-cycle run leaves plenty to see.
+	if rows == 0 {
+		t.Errorf("no timeline rows observed mid-stream (events: %v)", events)
+	}
+}
+
+// TestHealthzDraining checks the readiness fields: a fresh server
+// reports ok and not draining with a live queue length; after Shutdown
+// begins it flips to draining.
+func TestHealthzDraining(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	get := func() map[string]any {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := get()
+	if m["ok"] != true || m["draining"] != false {
+		t.Fatalf("fresh server healthz: ok=%v draining=%v", m["ok"], m["draining"])
+	}
+	if _, ok := m["queue_len"]; !ok {
+		t.Fatal("healthz missing queue_len")
+	}
+	// Mark the server closed the way Shutdown does, without waiting for
+	// the workers (the test cleanup will).
+	srv.mu.Lock()
+	srv.closed = true
+	srv.mu.Unlock()
+	m = get()
+	if m["ok"] != false || m["draining"] != true {
+		t.Fatalf("draining server healthz: ok=%v draining=%v", m["ok"], m["draining"])
+	}
+	srv.mu.Lock()
+	srv.closed = false // let cleanup Shutdown run normally
+	srv.mu.Unlock()
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"dx100/internal/exp"
+	"dx100/internal/obs/prof"
 	"dx100/internal/sim"
 	"dx100/internal/workloads"
 )
@@ -55,6 +56,13 @@ type Config struct {
 	// FigWorkers bounds the per-figure experiment pool (0 = one per
 	// CPU).
 	FigWorkers int
+	// ProfileWindow, when positive, profiles every single-run job at
+	// this sampling interval: live timeline rows go out over the run's
+	// SSE stream, and the finished timeline plus stall breakdown is
+	// served at GET /v1/runs/{id}/timeline. Served Results stay
+	// byte-identical to unprofiled runs — the profile travels beside
+	// the Result, never inside it.
+	ProfileWindow sim.Cycle
 	// Log receives operational messages; nil discards them.
 	Log *log.Logger
 }
@@ -114,6 +122,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/metrics", s.handleRunMetrics)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/runs/{id}/timeline", s.handleTimeline)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -221,18 +230,55 @@ func (s *Server) execute(j *job) {
 
 func (s *Server) executeRun(ctx context.Context, j *job) (json.RawMessage, error) {
 	s.simRuns.Add(1)
-	res, err := j.spec.Run(exp.RunOptions{
+	opts := exp.RunOptions{
 		Context: ctx,
 		Progress: func(p exp.ProgressSample) {
 			if b, err := json.Marshal(p); err == nil {
 				j.publishProgress(b)
 			}
 		},
-	})
+	}
+	if s.cfg.ProfileWindow > 0 {
+		opts.ProfileWindow = s.cfg.ProfileWindow
+		opts.OnSample = func(cycle uint64, names []string, values []float64) {
+			row := timelineRow{Cycle: cycle, Values: make(map[string]float64, len(names))}
+			for i, name := range names {
+				row.Values[name] = values[i]
+			}
+			if b, err := json.Marshal(row); err == nil {
+				j.publishTimeline(b)
+			}
+		}
+	}
+	res, err := j.spec.Run(opts)
 	if err != nil {
 		return nil, err
 	}
+	if res.Timeline != nil {
+		// Keep the profile beside the Result, not inside it: the cached
+		// and served Result bytes must match an unprofiled `dx100sim
+		// -run ... -json` exactly (the CI smoke asserts this).
+		doc, err := json.Marshal(timelineDoc{Timeline: res.Timeline, Stalls: res.Stalls})
+		if err != nil {
+			return nil, err
+		}
+		j.setTimeline(doc)
+		res.Timeline, res.Stalls = nil, nil
+	}
 	return exp.ResultJSON(res)
+}
+
+// timelineRow is one live SSE `timeline` event: a sampled window's
+// probe values keyed by probe name.
+type timelineRow struct {
+	Cycle  uint64             `json:"cycle"`
+	Values map[string]float64 `json:"values"`
+}
+
+// timelineDoc is the GET /v1/runs/{id}/timeline payload.
+type timelineDoc struct {
+	Timeline *prof.Timeline  `json:"timeline"`
+	Stalls   *prof.Breakdown `json:"stall_breakdown"`
 }
 
 // submit implements the singleflight core shared by runs and figures:
@@ -439,8 +485,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams a job's progress as server-sent events:
-// `progress` events carrying samples, then one terminal `done` /
-// `failed` / `canceled` event, after which the stream closes.
+// `progress` events carrying samples (plus `timeline` events carrying
+// sampled telemetry rows when the server profiles its runs), then one
+// terminal `done` / `failed` / `canceled` event, after which the
+// stream closes.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j := s.lookup(id)
@@ -483,7 +531,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case ev := <-ch:
 			writeEvent(w, ev)
 			flusher.Flush()
-			if ev.name != "progress" {
+			if State(ev.name).terminal() {
 				return
 			}
 		case <-j.done:
@@ -495,7 +543,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				case ev := <-ch:
 					writeEvent(w, ev)
 					flusher.Flush()
-					if ev.name != "progress" {
+					if State(ev.name).terminal() {
 						return
 					}
 				default:
@@ -510,6 +558,29 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// handleTimeline serves the finished timeline + stall breakdown of a
+// profiled run. 404 until the run finishes, when the server does not
+// profile, and for cache-restored jobs (the cache stores Results only
+// — profiles are per-execution artifacts).
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.lookup(id)
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	j.mu.Lock()
+	doc := j.timeline
+	j.mu.Unlock()
+	if doc == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no timeline for run %q (not profiled, not finished, or restored from cache)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(doc)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -531,7 +602,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":             !closed,
+		"draining":       closed,
 		"queued":         queued,
+		"queue_len":      s.q.Len(),
 		"running":        running,
 		"finished":       terminal,
 		"workers":        s.cfg.Workers,
