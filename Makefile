@@ -18,7 +18,7 @@ test:
 # Race-detector pass over the full tree, vet first. The parallel
 # experiment runner makes this the gate for any scheduling change.
 race: vet
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Coverage profile + per-function summary (CI enforces the floor).
 cover:
@@ -33,16 +33,18 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -timeout=120m .
 
-# Engine microbenchmarks (event heap, dense/sparse stepping, DRAM tick)
-# plus the end-to-end fast-forward-on/off comparison; numbers land in
-# BENCH_engine.json.
+# Engine microbenchmarks (event heap, dense/sparse stepping, DRAM tick,
+# sharded epoch scheduler) plus the end-to-end fast-forward-on/off and
+# serial-vs-sharded comparisons; numbers land in BENCH_engine.json.
 microbench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSchedulePop|BenchmarkEngineStep' -benchmem ./internal/sim
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedulePop|BenchmarkEngineStep|BenchmarkShardedEpochAdvance' -benchmem ./internal/sim
 	$(GO) test -run '^$$' -bench BenchmarkDRAMTick -benchmem ./internal/dram
+	$(GO) test -run '^$$' -bench BenchmarkShardedRun -benchtime=1x -timeout=30m ./internal/exp
 	$(GO) test -run '^$$' -bench BenchmarkFigureRun -benchtime=1x -timeout=60m .
 
 # Compare fresh microbenchmarks against the committed baseline in
-# BENCH_engine.json; fails on a >10% ns/op regression.
+# BENCH_engine.json: fails on a >10% ns/op regression or a broken
+# speedup gate (epoch batching, sharded-run neutrality).
 benchdiff:
 	$(GO) run ./cmd/benchdiff
 

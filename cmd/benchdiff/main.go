@@ -1,14 +1,22 @@
-// Command benchdiff guards the simulator's performance envelope: it
-// runs the engine microbenchmarks, parses the standard `go test -bench`
-// output, and compares each ns/op against the committed baseline in
-// BENCH_engine.json. A benchmark slower than the baseline by more than
-// the threshold fails the run (exit 1), so an accidental hot-loop
-// regression is caught before the numbers in the JSON go stale.
+// Command benchdiff guards the simulator's performance envelope in two
+// ways. First, it runs the engine microbenchmarks, parses the standard
+// `go test -bench` output, and compares each ns/op against the
+// committed baseline in BENCH_engine.json; a benchmark slower than the
+// baseline by more than the threshold fails the run (exit 1), so an
+// accidental hot-loop regression is caught before the numbers in the
+// JSON go stale. Second, it enforces the baseline's speedup_gates:
+// each gate names two benchmarks from the same fresh run and a minimum
+// ns/op ratio between them — e.g. the serial engine must stay at least
+// 1.3x slower than the 4-shard epoch scheduler on the wide-window
+// benchmark. Because a gate compares two measurements from one host
+// and one binary, it is machine-independent where the absolute ns/op
+// comparison is not, and it fails hard rather than drifting with the
+// hardware.
 //
 // Usage:
 //
 //	benchdiff                      # run benchmarks, compare at 10%
-//	benchdiff -threshold 0.25      # looser gate
+//	benchdiff -threshold 0.25      # looser drift gate (ratios unaffected)
 //	benchdiff -input bench.txt     # compare pre-recorded output instead
 //
 // Sub-nanosecond baselines are skipped: at that scale the measurement
@@ -29,19 +37,40 @@ import (
 	"strings"
 )
 
-// baseline mirrors the slice of BENCH_engine.json benchdiff consumes.
+// baseline mirrors the slices of BENCH_engine.json benchdiff consumes.
 type baseline struct {
 	Microbenchmarks map[string]struct {
 		NsPerOp float64 `json:"ns_per_op"`
 	} `json:"microbenchmarks"`
+	SpeedupGates []speedupGate `json:"speedup_gates"`
 }
 
-// benchPackages lists where the baselined microbenchmarks live; kept in
-// sync with the `microbench` Makefile target (minus the minutes-long
-// end-to-end figure run, which has no ns_per_op entry to gate on).
-var benchPackages = []struct{ pattern, pkg string }{
-	{"BenchmarkSchedulePop|BenchmarkEngineStep", "./internal/sim"},
-	{"BenchmarkDRAMTick", "./internal/dram"},
+// speedupGate is one enforced ratio between two benchmarks of the same
+// fresh run: numerator ns/op divided by denominator ns/op must be at
+// least MinRatio. Gates express "A must stay N times slower than B"
+// invariants (the epoch scheduler's batching win, the sharded engine's
+// end-to-end neutrality) that absolute ns/op budgets cannot.
+type speedupGate struct {
+	Name        string  `json:"name"`
+	Numerator   string  `json:"numerator"`
+	Denominator string  `json:"denominator"`
+	MinRatio    float64 `json:"min_ratio"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// benchPackages lists where the baselined microbenchmarks and the
+// speedup-gated benchmarks live; kept in sync with the `microbench`
+// Makefile target (minus the minutes-long end-to-end figure run, which
+// has no ns_per_op entry to gate on). The end-to-end sharded runs take
+// seconds per iteration, so they run with -benchtime=1x — the gates on
+// them are coarse by design.
+var benchPackages = []struct {
+	pattern, pkg string
+	extra        []string
+}{
+	{"BenchmarkSchedulePop|BenchmarkEngineStep|BenchmarkShardedEpochAdvance", "./internal/sim", nil},
+	{"BenchmarkDRAMTick", "./internal/dram", nil},
+	{"BenchmarkShardedRun/XRAGE-large16", "./internal/exp", []string{"-benchtime=1x", "-timeout=30m"}},
 }
 
 // subNanosecond is the noise floor below which comparisons are
@@ -55,7 +84,7 @@ func main() {
 	input := flag.String("input", "", "parse this pre-recorded `go test -bench` output instead of running benchmarks")
 	flag.Parse()
 
-	base, err := loadBaseline(*baselinePath)
+	base, gates, err := loadBaseline(*baselinePath)
 	if err != nil {
 		fatal(err)
 	}
@@ -79,30 +108,42 @@ func main() {
 
 	regressions, report := diff(base, fresh, *threshold)
 	fmt.Print(report)
+	gateFailures, gateReport := checkGates(gates, fresh)
+	fmt.Print(gateReport)
 	if regressions > 0 {
 		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%\n", regressions, 100**threshold)
+	}
+	if gateFailures > 0 {
+		fmt.Printf("benchdiff: %d speedup gate(s) failed\n", gateFailures)
+	}
+	if regressions+gateFailures > 0 {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: within budget")
 }
 
-func loadBaseline(path string) (map[string]float64, error) {
+func loadBaseline(path string) (map[string]float64, []speedupGate, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var doc baseline
 	if err := json.Unmarshal(b, &doc); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(doc.Microbenchmarks) == 0 {
-		return nil, fmt.Errorf("%s carries no microbenchmarks", path)
+		return nil, nil, fmt.Errorf("%s carries no microbenchmarks", path)
+	}
+	for _, g := range doc.SpeedupGates {
+		if g.Name == "" || g.Numerator == "" || g.Denominator == "" || g.MinRatio <= 0 {
+			return nil, nil, fmt.Errorf("%s: malformed speedup gate %+v", path, g)
+		}
 	}
 	out := make(map[string]float64, len(doc.Microbenchmarks))
 	for name, e := range doc.Microbenchmarks {
 		out[name] = e.NsPerOp
 	}
-	return out, nil
+	return out, doc.SpeedupGates, nil
 }
 
 // runBenchmarks executes the gated benchmark sets and folds their
@@ -110,7 +151,10 @@ func loadBaseline(path string) (map[string]float64, error) {
 func runBenchmarks() (map[string]float64, error) {
 	all := map[string]float64{}
 	for _, set := range benchPackages {
-		cmd := exec.Command("go", "test", "-run", "^$", "-bench", set.pattern, "-benchmem", set.pkg)
+		args := []string{"test", "-run", "^$", "-bench", set.pattern, "-benchmem"}
+		args = append(args, set.extra...)
+		args = append(args, set.pkg)
+		cmd := exec.Command("go", args...)
 		cmd.Stderr = os.Stderr
 		out, err := cmd.Output()
 		if err != nil {
@@ -199,6 +243,40 @@ func diff(base, fresh map[string]float64, threshold float64) (int, string) {
 		}
 	}
 	return regressions, b.String()
+}
+
+// checkGates enforces the baseline's speedup gates against the fresh
+// results and renders the gate table. A gate whose benchmarks are
+// missing from the run fails: a silently skipped gate would read as a
+// pass.
+func checkGates(gates []speedupGate, fresh map[string]float64) (int, string) {
+	if len(gates) == 0 {
+		return 0, ""
+	}
+	var b strings.Builder
+	failures := 0
+	fmt.Fprintf(&b, "\n%-26s %8s %8s\n", "speedup gate", "ratio", "min")
+	for _, g := range gates {
+		num, okN := fresh[g.Numerator]
+		den, okD := fresh[g.Denominator]
+		if !okN || !okD || den == 0 {
+			missing := g.Numerator
+			if okN {
+				missing = g.Denominator
+			}
+			fmt.Fprintf(&b, "%-26s %8s %8.2f  FAIL (%s missing)\n", g.Name, "-", g.MinRatio, missing)
+			failures++
+			continue
+		}
+		ratio := num / den
+		mark := ""
+		if ratio < g.MinRatio {
+			mark = "  FAIL"
+			failures++
+		}
+		fmt.Fprintf(&b, "%-26s %8.2f %8.2f%s\n", g.Name, ratio, g.MinRatio, mark)
+	}
+	return failures, b.String()
 }
 
 func fatal(err error) {

@@ -81,7 +81,7 @@ func TestDiff(t *testing.T) {
 }
 
 func TestLoadBaselineFromRepoRoot(t *testing.T) {
-	base, err := loadBaseline("../../BENCH_engine.json")
+	base, gates, err := loadBaseline("../../BENCH_engine.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,5 +89,50 @@ func TestLoadBaselineFromRepoRoot(t *testing.T) {
 		if base[name] <= 0 {
 			t.Errorf("baseline %s = %v, want > 0", name, base[name])
 		}
+	}
+	if len(gates) == 0 {
+		t.Fatal("committed baseline carries no speedup gates")
+	}
+	var epochGate *speedupGate
+	for i := range gates {
+		if gates[i].Denominator == "BenchmarkShardedEpochAdvance/shards=4" {
+			epochGate = &gates[i]
+		}
+	}
+	if epochGate == nil {
+		t.Fatal("no gate on BenchmarkShardedEpochAdvance/shards=4")
+	}
+	if epochGate.MinRatio < 1.3 {
+		t.Errorf("epoch batching gate min_ratio = %v, want >= 1.3", epochGate.MinRatio)
+	}
+}
+
+func TestCheckGates(t *testing.T) {
+	gates := []speedupGate{
+		{Name: "batch", Numerator: "BenchmarkA/serial", Denominator: "BenchmarkA/shards=4", MinRatio: 1.3},
+		{Name: "floor", Numerator: "BenchmarkB/serial", Denominator: "BenchmarkB/shards=4", MinRatio: 0.85},
+	}
+	fresh := map[string]float64{
+		"BenchmarkA/serial":   140,
+		"BenchmarkA/shards=4": 100, // 1.40x: passes the 1.3 gate
+		"BenchmarkB/serial":   90,
+		"BenchmarkB/shards=4": 100, // 0.90x: above the 0.85 floor
+	}
+	if n, report := checkGates(gates, fresh); n != 0 {
+		t.Fatalf("failures = %d, want 0\n%s", n, report)
+	}
+
+	fresh["BenchmarkA/serial"] = 120 // 1.20x: below the gate
+	n, report := checkGates(gates, fresh)
+	if n != 1 {
+		t.Fatalf("failures = %d, want 1\n%s", n, report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Errorf("report does not flag the failed gate:\n%s", report)
+	}
+
+	delete(fresh, "BenchmarkB/shards=4") // a missing side must fail, not skip
+	if n, _ := checkGates(gates, fresh); n != 2 {
+		t.Errorf("failures with missing benchmark = %d, want 2", n)
 	}
 }

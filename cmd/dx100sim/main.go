@@ -11,6 +11,7 @@
 //	dx100sim -fig 9 -scale 8                # regenerate a figure
 //	dx100sim -fig all -scale 8              # everything (slow)
 //	dx100sim -fig all -scale 8 -jobs 4      # ... on 4 worker goroutines
+//	dx100sim -run GZZ -mode baseline -shards 4   # sharded engine, identical results
 //	dx100sim -table4                        # area/power model
 package main
 
@@ -43,6 +44,7 @@ func main() {
 		fig      = flag.String("fig", "", "regenerate a figure: 8a, 8bc, 9, 10, 11, 12, 13, 14, ablation or all")
 		names    = flag.String("workloads", "", "comma-separated workload subset for -fig")
 		jobs     = flag.Int("jobs", 0, "concurrent experiment runs (0 = one per CPU, 1 = serial)")
+		shards   = flag.Int("shards", 0, "goroutine lanes advancing each simulation's memory channels between deterministic epoch barriers (0 = serial engine; results are byte-identical)")
 		verbose  = flag.Bool("v", false, "dump raw statistics after -run")
 		asJSON   = flag.Bool("json", false, "emit -run results as JSON (the dx100d wire form)")
 		trace    = flag.String("trace", "", "with -run, stream the event trace to this file (.json = Chrome trace_event for chrome://tracing or Perfetto; anything else = JSON Lines)")
@@ -56,6 +58,7 @@ func main() {
 	flag.Parse()
 	exp.SetParallelism(*jobs)
 	exp.SetNoFastForward(*noFF)
+	exp.SetShards(*shards)
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -92,6 +95,7 @@ func main() {
 			verbose: *verbose, asJSON: *asJSON,
 			trace: *trace, metrics: *metrics,
 			profileWindow: *profWin, timeline: *timeline,
+			shards: *shards,
 		})
 	case *fig != "":
 		runFigure(*fig, *scale, subset(*names))
@@ -148,6 +152,7 @@ type runFlags struct {
 	trace, metrics  string
 	profileWindow   int64
 	timeline        string
+	shards          int
 }
 
 func runOne(name, modeStr string, scale int, f runFlags) {
@@ -174,6 +179,7 @@ func runOne(name, modeStr string, scale int, f runFlags) {
 	if f.timeline != "" && opts.ProfileWindow == 0 {
 		opts.ProfileWindow = prof.DefaultWindow
 	}
+	opts.Shards = f.shards
 	res, err := exp.RunOpts(name, scale, exp.Default(m), opts)
 	if err != nil {
 		fatal(err)

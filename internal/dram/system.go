@@ -19,6 +19,23 @@ type System struct {
 	prefix string
 	chans  []*channel
 
+	// fx holds one effect mailbox per channel (see shard.go):
+	// tickChannel records command effects there instead of applying
+	// them inline, so the same state machine serves the serial tick,
+	// the parallel per-edge tick, and the epoch advance; mergeIdx is
+	// the k-way merge cursor scratch, sized once.
+	fx       []chanFx
+	mergeIdx []int
+
+	// tickFn/advFn are the persistent unit closures dispatched to the
+	// shard pool; their cycle arguments travel through tickDC/tickNow
+	// and advFrom/advUpTo so steady-state dispatches allocate nothing.
+	tickFn           func(u int)
+	advFn            func(u int)
+	tickDC           uint64
+	tickNow          sim.Cycle
+	advFrom, advUpTo sim.Cycle
+
 	// Per-DRAM-cycle counter handles, resolved once so the tick loop
 	// does no string concatenation or map lookups.
 	cCycles    *sim.Counter
@@ -68,6 +85,14 @@ func NewSystem(eng *sim.Engine, p Params, stats *sim.Stats, prefix string) *Syst
 		ch.idx = i
 		s.chans = append(s.chans, ch)
 	}
+	s.fx = make([]chanFx, p.Channels)
+	s.mergeIdx = make([]int, p.Channels)
+	s.tickFn = func(u int) {
+		fx := &s.fx[u]
+		fx.preLen = len(s.chans[u].queue)
+		fx.acted1 = s.tickChannel(s.chans[u], fx, s.tickDC, s.tickNow)
+	}
+	s.advFn = func(u int) { s.advanceChannel(u, s.advFrom, s.advUpTo) }
 	eng.Register(s)
 	return s
 }
@@ -121,10 +146,12 @@ func (s *System) Tick(now sim.Cycle) bool {
 	}
 	dc := uint64(now) / uint64(s.p.ClkDiv)
 	s.cCycles.Inc()
-	for _, ch := range s.chans {
+	for i, ch := range s.chans {
 		s.cOccupancy.Add(float64(len(ch.queue)))
 		s.hOccupancy.Observe(float64(len(ch.queue)))
-		s.tickChannel(ch, dc, now)
+		if s.tickChannel(ch, &s.fx[i], dc, now) {
+			s.applyEdge(&s.fx[i])
+		}
 	}
 	return s.busy()
 }
@@ -190,23 +217,29 @@ func (s *System) busy() bool {
 	return false
 }
 
-// tickChannel issues at most one command on ch at DRAM cycle dc.
-func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
+// tickChannel issues at most one command on ch at DRAM cycle dc,
+// recording every externally visible effect — counter deltas, trace
+// events, completion callbacks — into fx rather than applying it. The
+// caller (serial tick, parallel tick merge, or epoch merge) applies
+// the mailbox in deterministic order; this is what lets the same state
+// machine run on a worker goroutine unchanged. It reports whether the
+// channel acted (issued any command or refreshed).
+func (s *System) tickChannel(ch *channel, fx *chanFx, dc uint64, now sim.Cycle) bool {
 	if ch.maybeRefresh(dc) {
-		s.cRefreshes.Inc()
+		fx.refreshes++
 		if s.trace != nil {
-			s.trace.Emit(obs.Event{
+			fx.events = append(fx.events, obs.Event{
 				Cycle: uint64(now), Kind: obs.EvDRAMRefresh, Src: s.prefix,
 				Args: [6]int64{int64(ch.idx), int64(dc)},
 			})
 		}
-		return
+		return true
 	}
 	// First-ready: oldest request whose column command can issue now.
 	for _, r := range ch.queue {
 		if ch.casReady(r, dc) {
-			s.completeCAS(ch, r, dc, now)
-			return
+			s.completeCAS(ch, fx, r, dc, now)
+			return true
 		}
 	}
 	// FCFS: oldest request that needs its row opened, provided we
@@ -223,29 +256,30 @@ func (s *System) tickChannel(ch *channel, dc uint64, now sim.Cycle) {
 			if dc >= b.nextPre {
 				ch.issuePRE(r, dc)
 				r.requiredPre = true
-				s.cPre.Inc()
+				fx.pre++
 				if s.trace != nil {
-					s.trace.Emit(cmdEvent(obs.EvDRAMPre, s.prefix, now, r.coord, dc))
+					fx.events = append(fx.events, cmdEvent(obs.EvDRAMPre, s.prefix, now, r.coord, dc))
 				}
-				return
+				return true
 			}
 			continue
 		}
 		if ch.actReady(r, dc) {
 			ch.issueACT(r, dc)
 			r.requiredAct = true
-			s.cAct.Inc()
+			fx.act++
 			if s.trace != nil {
-				s.trace.Emit(cmdEvent(obs.EvDRAMAct, s.prefix, now, r.coord, dc))
+				fx.events = append(fx.events, cmdEvent(obs.EvDRAMAct, s.prefix, now, r.coord, dc))
 			}
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // completeCAS issues r's column command, records its row-buffer
-// classification, and schedules the completion callback.
-func (s *System) completeCAS(ch *channel, r *Request, dc uint64, now sim.Cycle) {
+// classification, and buffers the completion callback.
+func (s *System) completeCAS(ch *channel, fx *chanFx, r *Request, dc uint64, now sim.Cycle) {
 	doneAt := ch.issueCAS(r, dc)
 	ch.remove(r)
 	if s.trace != nil {
@@ -253,28 +287,28 @@ func (s *System) completeCAS(ch *channel, r *Request, dc uint64, now sim.Cycle) 
 		if r.Kind == Write {
 			kind = obs.EvDRAMWrite
 		}
-		s.trace.Emit(cmdEvent(kind, s.prefix, now, r.coord, dc))
+		fx.events = append(fx.events, cmdEvent(kind, s.prefix, now, r.coord, dc))
 	}
 	switch {
 	case !r.requiredAct:
-		s.cRowHits.Inc()
+		fx.rowHits++
 	case r.requiredPre:
-		s.cRowConfl.Inc()
+		fx.confl++
 	default:
-		s.cRowMiss.Inc()
+		fx.rowMiss++
 	}
 	if r.Kind == Read {
-		s.cReads.Inc()
+		fx.reads++
 	} else {
-		s.cWrites.Inc()
+		fx.writes++
 	}
-	s.cBytes.Add(memspace.LineSize)
+	fx.bytes += memspace.LineSize
 	if r.OnDone != nil {
 		cpuDone := sim.Cycle(doneAt * uint64(s.p.ClkDiv))
 		if cpuDone <= now {
 			cpuDone = now + 1
 		}
-		s.eng.Schedule(cpuDone, r.OnDone)
+		fx.comps = append(fx.comps, pendingDone{asOf: now, at: cpuDone, fn: r.OnDone})
 	}
 }
 

@@ -44,15 +44,22 @@ type Runner struct {
 	// be called from multiple worker goroutines; implementations must
 	// be safe for concurrent use.
 	OnRun func(done, total int)
+	// Shards, when positive, runs every simulation this Runner
+	// dispatches on the sharded engine with that many lanes (see
+	// RunOptions.Shards). It composes with Workers: Workers bounds the
+	// across-run fan-out, Shards the within-run fan-out, so total
+	// goroutine pressure is roughly Workers × Shards.
+	Shards int
 }
 
 // DefaultRunner snapshots the deprecated package-level defaults set by
-// SetParallelism and SetNoFastForward — the policy the package-level
-// figure functions run under.
+// SetParallelism, SetNoFastForward and SetShards — the policy the
+// package-level figure functions run under.
 func DefaultRunner() Runner {
 	return Runner{
 		Workers:       int(parallelism.Load()),
 		NoFastForward: defaultNoFastForward.Load(),
+		Shards:        int(defaultShards.Load()),
 	}
 }
 
@@ -98,6 +105,24 @@ func SetParallelism(n int) {
 // package-level default.
 func Parallelism() int {
 	return Runner{Workers: int(parallelism.Load())}.workers()
+}
+
+// defaultShards holds the lane count configured through SetShards; 0
+// selects the serial engine.
+var defaultShards atomic.Int32
+
+// SetShards sets the sharded-engine lane count the package-level figure
+// functions run with (see RunOptions.Shards; results are byte-identical
+// for every value). n <= 0 restores the serial engine.
+//
+// Deprecated: this is a process-wide default kept so the dx100sim
+// -shards flag reaches the figure drivers. Concurrent callers use
+// Runner.Shards, which cannot race other requests.
+func SetShards(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultShards.Store(int32(n))
 }
 
 // forEach runs fn(i) for every i in [0, n) on a bounded worker pool
@@ -172,7 +197,7 @@ func namedSpec(name string, scale int, cfg SystemConfig) (runSpec, error) {
 func (r Runner) runAll(specs []runSpec) ([]Result, error) {
 	out := make([]Result, len(specs))
 	var completed atomic.Int64
-	opts := RunOptions{Context: r.Context}
+	opts := RunOptions{Context: r.Context, Shards: r.Shards}
 	err := r.forEach(len(specs), func(i int) error {
 		res, err := RunInstanceOpts(specs[i].inst(), specs[i].cfg, opts)
 		if err != nil {

@@ -53,6 +53,57 @@ func checkConservation(t *testing.T, res Result) {
 	}
 }
 
+// TestProfiledShardEquivalence extends the conservation suite to the
+// sharded engine: a profiled run at any shard count must reproduce the
+// serial run's entire wire form byte-for-byte — every Timeline row,
+// the stall breakdown, the statistics registry — and the sharded run's
+// buckets must independently conserve. The sampler fires from the
+// engine's Check hook, which the epoch scheduler clamps windows to, so
+// every sample lands at the exact serial cycle with the exact serial
+// counter values.
+func TestProfiledShardEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode Mode
+	}{
+		{"GZZ", Baseline},
+		{"micro.gather", DX},
+		{"IS", DX},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/%s", tc.name, tc.mode), func(t *testing.T) {
+			t.Parallel()
+			serial, err := RunOpts(tc.name, 1, Default(tc.mode), RunOptions{ProfileWindow: profileWindow})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ResultJSON(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shardSet := []int{2, 8}
+			if raceDetectorEnabled {
+				shardSet = shardSet[:1] // trimmed under -race (see norace_test.go)
+			}
+			for _, n := range shardSet {
+				res, err := RunOpts(tc.name, 1, Default(tc.mode), RunOptions{ProfileWindow: profileWindow, Shards: n})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", n, err)
+				}
+				got, err := ResultJSON(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("shards=%d: profiled wire form diverges from serial:\n--- serial ---\n%s\n--- shards=%d ---\n%s",
+						n, want, n, got)
+				}
+				checkConservation(t, res)
+			}
+		})
+	}
+}
+
 // TestProfileResultNeutral pins the observation-only contract of
 // simprof: modulo the Timeline/Stalls fields themselves, a profiled
 // run produces a byte-identical wire-form Result to a plain run — the

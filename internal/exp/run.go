@@ -198,6 +198,16 @@ type RunOptions struct {
 	// (valid only during the call). It runs on the simulating
 	// goroutine; dx100d uses it to stream live timeline events.
 	OnSample func(cycle uint64, names []string, values []float64)
+	// Shards, when positive, runs the simulation on the sharded engine:
+	// the DRAM channels are advanced by up to Shards goroutine lanes
+	// between deterministic epoch barriers (capped at the channel
+	// count — extra lanes would have nothing to do). Sharding is an
+	// execution strategy, not part of the experiment: results are
+	// byte-identical for every value (the equivalence matrix in
+	// determinism_test.go pins this), which is also why Shards lives
+	// here and not in SystemConfig — it must not perturb a Spec's
+	// content address. Zero selects the serial engine.
+	Shards int
 }
 
 // attachTrace hooks every component's emit sites to the sink. A nil
@@ -348,6 +358,15 @@ func RunInstance(inst *workloads.Instance, cfg SystemConfig) (Result, error) {
 // cancellation and progress reporting.
 func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions) (Result, error) {
 	s := build(inst, cfg)
+	if opts.Shards > 0 {
+		n := opts.Shards
+		if c := s.mem.Channels(); n > c {
+			n = c
+		}
+		s.eng.SetShards(n)
+		// Release the pool's worker goroutines however the run ends.
+		defer s.eng.Close()
+	}
 	var p *profiler
 	if opts.ProfileWindow > 0 {
 		p = newProfiler(s, opts)

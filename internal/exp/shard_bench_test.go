@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dx100/internal/workloads"
+)
+
+// shardBenchCases are the sharded-engine benchmark points recorded in
+// BENCH_engine.json and gated by cmd/benchdiff. Three regimes:
+//
+//   - XRAGE-large16: the largest baseline-system benchmark in the
+//     repository — XRAGE at scale 16 on the 16-core/8-channel
+//     LargeBaseline machine. Its channels carry deep queues, so the
+//     epoch scheduler's batched advances amortize the per-visited-cycle
+//     hint scans and component ticks; this is the case the ≥1.3x
+//     4-shard speedup gate in benchdiff holds on.
+//   - GZZ-large8: a large pointer-chasing run on the 8-core
+//     Scale8Baseline system. Lower memory-level parallelism means
+//     shorter epochs; the benchmark documents that the sharded engine
+//     is at worst neutral here.
+//   - IS-dx100: a DX100-mode run, where the request buffers keep the
+//     accelerator dense and epochs rarely open. Informational: the
+//     sharded engine must not tax the mode it cannot yet accelerate.
+var shardBenchCases = []struct {
+	name     string
+	workload string
+	scale    int
+	cfg      func() SystemConfig
+}{
+	{"XRAGE-large16", "XRAGE", 16, LargeBaseline},
+	{"GZZ-large8", "GZZ", 16, Scale8Baseline},
+	{"IS-dx100", "IS", 4, func() SystemConfig { return Default(DX) }},
+}
+
+// BenchmarkShardedRun times single end-to-end runs on the sharded
+// engine at 1, 2 and 4 lanes against the serial engine (shards=0).
+// Workload generation happens off the clock: the numbers are engine
+// wall-time, which is what BENCH_engine.json records and cmd/benchdiff
+// gates (as serial/sharded ratios, so the gate is machine-independent).
+// The simulated results are byte-identical at every lane count
+// (TestShardEquivalenceMatrix and TestLargeBaselineShardEquivalence pin
+// that). Run with -benchtime=1x: one iteration is a full multi-second
+// deterministic run, which is signal enough.
+func BenchmarkShardedRun(b *testing.B) {
+	for _, c := range shardBenchCases {
+		for _, shards := range []int{0, 1, 2, 4} {
+			tag := "serial"
+			if shards > 0 {
+				tag = fmt.Sprintf("shards=%d", shards)
+			}
+			b.Run(fmt.Sprintf("%s/%s", c.name, tag), func(b *testing.B) {
+				cfg := c.cfg()
+				build := workloads.Registry[c.workload]
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					inst := build(c.scale)
+					b.StartTimer()
+					if _, err := RunInstanceOpts(inst, cfg, RunOptions{Shards: shards}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLargeBaselineShardEquivalence pins byte-identity on the exact
+// system configurations the sharded benchmarks run (the equivalence
+// matrix sweeps the Default configs; the benchmark machines are
+// larger). Scale is kept small — identity does not depend on it, and
+// the benchmark-scale runs take tens of seconds.
+func TestLargeBaselineShardEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  SystemConfig
+	}{
+		{"LargeBaseline", LargeBaseline()},
+		{"Scale8Baseline", Scale8Baseline()},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if tc.name != "LargeBaseline" && raceDetectorEnabled {
+				t.Skip("one benchmark system suffices under -race (see norace_test.go)")
+			}
+			shardSet := []int{1, 4}
+			if raceDetectorEnabled {
+				shardSet = []int{4}
+			}
+			run := func(shards int) []byte {
+				inst := workloads.Registry["XRAGE"](2)
+				res, err := RunInstanceOpts(inst, tc.cfg, RunOptions{Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := ResultJSON(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+			want := run(0)
+			for _, n := range shardSet {
+				if got := run(n); !bytes.Equal(want, got) {
+					t.Errorf("shards=%d diverges from serial on %s", n, tc.name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+//go:build race
+
+// This file only builds under the race detector: a fixed-seed soak
+// that re-runs one representative workload at randomly drawn shard
+// counts and demands byte-identity with the serial engine every time.
+// The ordinary matrix (shard_test.go) sweeps the same space
+// deterministically; this soak exists so `go test -race` re-checks the
+// identity while the detector watches the shard pool's real
+// interleavings, which differ run to run.
+
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// raceDetectorEnabled: see norace_test.go for why the deterministic
+// sweeps consult this.
+const raceDetectorEnabled = true
+
+func TestShardSoakRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mode := range []Mode{Baseline, DX} {
+		mode := mode
+		draws := make([]int, 4)
+		for i := range draws {
+			draws[i] = 1 + rng.Intn(8)
+		}
+		t.Run(fmt.Sprintf("IS/%s", mode), func(t *testing.T) {
+			t.Parallel()
+			serial := shardCell(t, "IS", mode, false, 0)
+			for _, n := range draws {
+				if got := shardCell(t, "IS", mode, false, n); got != serial {
+					t.Errorf("shards=%d diverges from serial under -race", n)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"dx100/internal/workloads"
+)
+
+// The sharded engine's contract is stronger than "same figures": a run
+// executed with any shard count must be byte-identical to the serial
+// engine — every statistic, every derived rate, the exact wire JSON —
+// for every workload, mode, and stepping strategy. These tests pin that
+// contract as a matrix; shard.go and epoch.go in internal/sim document
+// why it holds.
+
+// shardCell runs one (workload, mode, noFF, shards) cell at scale 1 and
+// renders everything observable about it: the full-precision result key
+// (all measured fields plus the statistics registry) and the wire JSON
+// the daemon would serve. shards == 0 is the serial engine.
+func shardCell(t *testing.T, name string, mode Mode, noFF bool, shards int) string {
+	t.Helper()
+	cfg := Default(mode)
+	cfg.NoFastForward = noFF
+	res, err := RunOpts(name, 1, cfg, RunOptions{Shards: shards})
+	if err != nil {
+		t.Fatalf("%s/%s noff=%v shards=%d: %v", name, mode, noFF, shards, err)
+	}
+	wire, err := ResultJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resultKey(res) + string(wire)
+}
+
+// shardCounts spans the interesting pool shapes: 1 (epoch batching with
+// no worker goroutines), an even split, the channel count, and more
+// lanes than channels (the cap in RunOptions must bite).
+var shardCounts = []int{1, 2, 4, 8}
+
+// TestShardEquivalenceMatrix is the equivalence matrix: three
+// representative workloads × both measured systems × fast-forward
+// on/off × every shard count, each cell compared byte-for-byte against
+// the serial engine.
+func TestShardEquivalenceMatrix(t *testing.T) {
+	counts := shardCounts
+	if raceDetectorEnabled {
+		// One count suffices for the detector: 4 lanes exercises real
+		// fan-out on multi-core hosts and degrades to the single-lane
+		// epoch path under GOMAXPROCS=1.
+		counts = []int{4}
+	}
+	for _, name := range detNames {
+		for _, mode := range []Mode{Baseline, DX} {
+			for _, noFF := range []bool{false, true} {
+				name, mode, noFF := name, mode, noFF
+				t.Run(fmt.Sprintf("%s/%s/noff=%v", name, mode, noFF), func(t *testing.T) {
+					t.Parallel()
+					if noFF && raceDetectorEnabled {
+						t.Skip("exact-stepping cells are serial-engine physics; trimmed under -race (see norace_test.go)")
+					}
+					serial := shardCell(t, name, mode, noFF, 0)
+					for _, n := range counts {
+						if got := shardCell(t, name, mode, noFF, n); got != serial {
+							t.Errorf("shards=%d diverges from serial:\n--- serial ---\n%s\n--- shards=%d ---\n%s",
+								n, serial, n, got)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceAllWorkloads sweeps every registered workload
+// once with an odd lane count (uneven channel partition) against
+// serial, on both systems — the breadth pass complementing the deep
+// matrix above.
+func TestShardEquivalenceAllWorkloads(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("breadth sweep checks byte-identity semantics, not interleavings; trimmed under -race (see norace_test.go)")
+	}
+	for _, name := range workloads.Order {
+		for _, mode := range []Mode{Baseline, DX} {
+			name, mode := name, mode
+			t.Run(fmt.Sprintf("%s/%s", name, mode), func(t *testing.T) {
+				t.Parallel()
+				serial := shardCell(t, name, mode, false, 0)
+				if got := shardCell(t, name, mode, false, 3); got != serial {
+					t.Errorf("shards=3 diverges from serial:\n--- serial ---\n%s\n--- shards=3 ---\n%s",
+						serial, got)
+				}
+			})
+		}
+	}
+}

@@ -41,6 +41,10 @@ type job struct {
 	spec    exp.Spec
 	fig     figSpec
 	created time.Time
+	// shards is the job's sharded-engine lane count (0 = the daemon
+	// default applies at execution time). Execution policy only: it is
+	// not part of id, so submissions differing only here coalesce.
+	shards int
 
 	mu         sync.Mutex
 	state      State

@@ -194,6 +194,18 @@ type Engine struct {
 	skippers []CycleSkipper
 	allHint  bool
 
+	// Sharded scheduler state (see shard.go/epoch.go): pool is non-nil
+	// once SetShards enabled intra-run parallelism, shardedIdx/sharded
+	// locate the single ShardedTicker the epoch scheduler drives (-1 /
+	// nil when none is registered), lastOtherBusy captures the
+	// non-sharded tickers' busy OR at the most recent step, and epoch
+	// is the reusable effect mailbox.
+	pool          *ShardPool
+	shardedIdx    int
+	sharded       ShardedTicker
+	lastOtherBusy bool
+	epoch         Epoch
+
 	// MaxCycles aborts the run when reached; it guards against
 	// deadlocked models in tests. Zero means no limit.
 	MaxCycles Cycle
@@ -228,7 +240,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at cycle 0.
 func NewEngine() *Engine {
-	return &Engine{allHint: true}
+	return &Engine{allHint: true, shardedIdx: -1}
 }
 
 // Now returns the current cycle.
@@ -252,6 +264,13 @@ func (e *Engine) Register(t Ticker) {
 	e.hinters = append(e.hinters, h)
 	s, _ := t.(CycleSkipper)
 	e.skippers = append(e.skippers, s)
+	// The sharded scheduler drives one ShardedTicker (the memory
+	// system); the first one registered wins, any further ones are
+	// plain tickers.
+	if st, ok := t.(ShardedTicker); ok && e.shardedIdx < 0 {
+		e.shardedIdx = len(e.tickers) - 1
+		e.sharded = st
+	}
 }
 
 // Schedule runs fn at cycle `at`. Scheduling in the past (or at the
@@ -323,6 +342,14 @@ func (e *Engine) fastForward() {
 			return
 		}
 	}
+	e.jumpTo(target)
+}
+
+// jumpTo moves the clock to just before target and accounts the elided
+// cycles: SkipCycles on every skipper, the jump counters, and the trace
+// event. Callers own the decision that the jump is legal (no component
+// can act before target).
+func (e *Engine) jumpTo(target Cycle) {
 	from := e.now
 	e.now = target - 1 // the next Step lands exactly on target
 	for _, s := range e.skippers {
@@ -361,9 +388,15 @@ func (e *Engine) Run(done func() bool) (Cycle, error) {
 	if interval == 0 {
 		interval = DefaultCheckEvery
 	}
+	sharded := e.shardedActive()
 	nextCheck := e.now + interval
 	for {
-		busy := e.Step()
+		var busy bool
+		if sharded {
+			busy = e.stepSharded()
+		} else {
+			busy = e.Step()
+		}
 		if done != nil && done() {
 			return e.now, nil
 		}
@@ -385,7 +418,15 @@ func (e *Engine) Run(done func() bool) (Cycle, error) {
 			nextCheck = e.now + interval
 		}
 		if e.allHint && !e.DisableFastForward {
-			e.fastForward()
+			if sharded {
+				// epochStep folds the epoch attempt and the fast-forward
+				// jump into one hinter scan; it performs the jump itself.
+				if end, at, err := e.epochStep(nextCheck, done); end {
+					return at, err
+				}
+			} else {
+				e.fastForward()
+			}
 		}
 	}
 }

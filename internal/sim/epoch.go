@@ -1,0 +1,356 @@
+package sim
+
+import (
+	"fmt"
+
+	"dx100/internal/obs"
+)
+
+// This file is the epoch scheduler of the sharded engine: a
+// conservative parallel discrete-event step that advances the sharded
+// component through a whole window of simulated time at once, between
+// two deterministic barriers, while every other ticker is provably
+// quiescent.
+//
+// The window is derived from the hints the serial engine already
+// trusts for fast-forward:
+//
+//	S = min(every non-sharded ticker's NextWake, event-heap head)
+//	L = the sharded ticker's EffectLookahead (earliest cycle an
+//	    effect generated inside the window could land)
+//	T = min(S, L, next Check boundary, MaxCycles)
+//
+// Within (now, T-1] the only component that can act is the sharded
+// one, and nothing it does can reach any other component before T —
+// so its units may be advanced concurrently and merged afterwards.
+// The merge drains each unit's mailbox in (cycle, unit) order, which
+// is exactly the order the serial engine would have produced, and the
+// engine reconstructs the fast-forward jump accounting from the merged
+// action cycles so even FastForwarded() — which the simprof ff_skip
+// probe samples — is byte-identical to a serial run.
+
+// Epoch is the effect mailbox of one shard advance: the sharded
+// ticker's AdvanceShards records where its units acted, which events
+// they scheduled, and which trace events they emitted; the engine
+// replays the accounting afterwards. The engine owns one Epoch and
+// reuses it, so steady-state advances allocate nothing.
+type Epoch struct {
+	eng  *Engine
+	from Cycle // the cycle the engine had completed when the epoch began
+
+	// acted lists, in strictly increasing order, every cycle in
+	// (from, upTo] at which some unit acted — the cycles a serial run
+	// would have visited. AddActed builds it; the merge in the sharded
+	// ticker must call it in nondecreasing cycle order.
+	acted []Cycle
+
+	// trace buffers the trace events emitted inside the window, in
+	// serial emission order, each with the sink it is destined for (a
+	// component's own sink may differ from the engine's). The engine
+	// interleaves them with its reconstructed EvFastForward events.
+	trace []tracedEvent
+}
+
+// tracedEvent is one buffered trace emission: the destination sink and
+// the event.
+type tracedEvent struct {
+	sink *obs.Sink
+	ev   obs.Event
+}
+
+// reset prepares the mailbox for a new epoch starting after from.
+func (ep *Epoch) reset(eng *Engine, from Cycle) {
+	ep.eng = eng
+	ep.from = from
+	ep.acted = ep.acted[:0]
+	ep.trace = ep.trace[:0]
+}
+
+// AddActed records that some unit acted at cycle at. Calls must come
+// in nondecreasing cycle order (the merge's k-way order guarantees
+// this); duplicate cycles — several units acting on the same cycle —
+// collapse to one visited cycle, as in a serial run.
+func (ep *Epoch) AddActed(at Cycle) {
+	if n := len(ep.acted); n > 0 && ep.acted[n-1] == at {
+		return
+	}
+	ep.acted = append(ep.acted, at)
+}
+
+// Schedule is Engine.Schedule for effects generated inside the window.
+// asOf is the cycle the scheduling unit was at (its clamp reference —
+// the serial engine would have been exactly there); the engine's own
+// clock still shows the epoch start. Effects must land at or beyond
+// the EffectLookahead bound the epoch was sized with; landing inside
+// the window would mean the lookahead lied, so that is a panic, not a
+// silent divergence.
+func (ep *Epoch) Schedule(asOf, at Cycle, fn func(now Cycle)) {
+	if at <= asOf {
+		at = asOf + 1
+	}
+	e := ep.eng
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// EmitTrace buffers one trace event destined for sink (which must be
+// non-nil). Calls must come in serial emission order: nondecreasing
+// cycle, unit order within a cycle.
+func (ep *Epoch) EmitTrace(sink *obs.Sink, ev obs.Event) {
+	ep.trace = append(ep.trace, tracedEvent{sink: sink, ev: ev})
+}
+
+// SetShards selects the engine's stepping strategy. n <= 0 keeps the
+// serial engine (the default). n >= 1 enables the sharded scheduler
+// with n lanes: the engine drives its ShardedTicker through
+// TickSharded/AdvanceShards, spawning n-1 worker goroutines (none for
+// n == 1, which enables epoch batching without any concurrency).
+// Results are byte-identical for every n; only wall-clock time
+// changes. Call before Run; Close releases the workers.
+func (e *Engine) SetShards(n int) {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+	if n <= 0 {
+		return
+	}
+	e.pool = NewShardPool(n)
+}
+
+// Shards returns the configured lane count; 0 means the serial engine.
+func (e *Engine) Shards() int {
+	if e.pool == nil {
+		return 0
+	}
+	return e.pool.Lanes()
+}
+
+// Close releases the sharded scheduler's worker goroutines. It is safe
+// on a serial engine and idempotent; the engine must not be running.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+}
+
+// shardedActive reports whether Run should use the sharded scheduler:
+// shards were requested and a ShardedTicker is registered.
+func (e *Engine) shardedActive() bool {
+	return e.pool != nil && e.shardedIdx >= 0
+}
+
+// stepSharded is Step for the sharded scheduler: identical except that
+// the ShardedTicker ticks through TickSharded (which may fan the cycle
+// out over the pool) and the busy reports of the other tickers are
+// captured for epochAdvance's termination check.
+func (e *Engine) stepSharded() (busy bool) {
+	e.now++
+	for e.events.len() > 0 && e.events.items[0].at <= e.now {
+		ev := e.events.pop()
+		ev.fn(e.now)
+	}
+	other := false
+	for i, t := range e.tickers {
+		if i == e.shardedIdx {
+			if e.sharded.TickSharded(e.now, e.pool) {
+				busy = true
+			}
+			continue
+		}
+		if t.Tick(e.now) {
+			busy = true
+			other = true
+		}
+	}
+	e.lastOtherBusy = other
+	return busy || e.events.len() > 0
+}
+
+// epochStep is the sharded engine's counterpart of fastForward: one
+// scan over the wake hints serves both the epoch-eligibility decision
+// and the clock jump, so the sharded hot loop pays no more hint
+// queries per visited cycle than the serial engine does. It runs where
+// Run would call fastForward; when it opens an epoch it also performs
+// the jump out of the window (with a fresh scan -- the sharded
+// component's hints changed). On the rare path where the whole system
+// quiesces inside the window it returns end=true with Run's return
+// values, reproducing the serial termination cycle exactly.
+func (e *Engine) epochStep(nextCheck Cycle, done func() bool) (end bool, at Cycle, err error) {
+	// The scan replicates fastForward's no-jump conditions exactly: any
+	// hinter declining (!ok) or possibly acting on the very next cycle
+	// forfeits both the jump and the epoch. Hints are side-effect-free,
+	// so bailing early is unobservable and scan order cannot matter.
+	otherMin := NeverWake
+	for i, h := range e.hinters {
+		if i == e.shardedIdx {
+			continue
+		}
+		w, ok := h.NextWake(e.now)
+		if !ok || w <= e.now+1 {
+			return false, 0, nil
+		}
+		if w < otherMin {
+			otherMin = w
+		}
+	}
+	sw, swOK := e.sharded.NextWake(e.now)
+	if !swOK {
+		return false, 0, nil // declines hinting: no jump, as in fastForward
+	}
+	// S: the earliest cycle anything other than the sharded ticker can
+	// act -- the serial bound every epoch must respect.
+	s := otherMin
+	if e.events.len() > 0 && e.events.items[0].at < s {
+		s = e.events.items[0].at
+	}
+	// Epoch attempt. The termination check after the window relies on
+	// the non-sharded world being constant over it; if nothing was busy
+	// and no event is pending, the serial engine could stop mid-window,
+	// so in that state the epoch (not the jump) is forfeited. Note that
+	// sw <= now+1 does NOT forfeit the epoch -- batching starts exactly
+	// when the sharded component is about to act.
+	if (e.lastOtherBusy || e.events.len() > 0) && sw < s {
+		t := s
+		if la := e.sharded.EffectLookahead(e.now); la < t {
+			t = la
+		}
+		if e.Check != nil && nextCheck < t {
+			t = nextCheck // a check must fire at its exact serial cycle
+		}
+		if e.MaxCycles != 0 && e.MaxCycles < t {
+			t = e.MaxCycles // the limit error must fire at MaxCycles itself
+		}
+		if t > e.now+1 && sw < t {
+			if end, at, err, advanced := e.epochAdvance(t, otherMin, done); advanced {
+				return end, at, err
+			}
+			// The advance produced no actions (the wake hint was
+			// conservative): the sharded state is unchanged, so fall
+			// back to the plain scan-and-jump below.
+		}
+	}
+	// No epoch: finish what fastForward would have done, reusing the
+	// hints from the single scan above. sw > now+1 was not required for
+	// the epoch attempt but is required here, exactly as in the serial
+	// scan.
+	if sw <= e.now+1 {
+		return false, 0, nil
+	}
+	target := s
+	if sw < target {
+		target = sw
+	}
+	if target == NeverWake {
+		return false, 0, nil // quiesce or deadlock: Run's busy logic decides
+	}
+	if e.MaxCycles != 0 && target > e.MaxCycles {
+		target = e.MaxCycles
+		if target <= e.now+1 {
+			return false, 0, nil
+		}
+	}
+	e.jumpTo(target)
+	return false, 0, nil
+}
+
+// epochAdvance runs one batched shard advance over (e.now, t-1] and
+// replays its externally visible accounting. advanced=false reports
+// that no unit acted (nothing changed, the mailbox is empty); when
+// advanced, end/at/err carry Run's return values if the system
+// quiesced inside the window.
+func (e *Engine) epochAdvance(t, otherMin Cycle, done func() bool) (end bool, at Cycle, err error, advanced bool) {
+	ep := &e.epoch
+	ep.reset(e, e.now)
+	stillBusy := e.sharded.AdvanceShards(e.now, t-1, e.pool, ep)
+	if len(ep.acted) == 0 {
+		return false, 0, nil, false
+	}
+	// Reconstruct the serial stepping of the window: the serial engine
+	// visits exactly the acted cycles, jumping over every gap. Replay
+	// the jump accounting (and the trace interleaving of command events
+	// with EvFastForward) so FastForwarded() and an attached sink see a
+	// byte-identical history.
+	from := e.now
+	prev := from
+	ti := 0
+	for _, v := range ep.acted {
+		if v > prev+1 {
+			e.ffJumps++
+			e.ffSkipped += uint64(v - 1 - prev)
+			if e.Trace != nil {
+				e.Trace.Emit(obs.Event{
+					Cycle: uint64(prev),
+					Kind:  obs.EvFastForward,
+					Src:   "engine",
+					Args:  [6]int64{int64(v - 1), int64(v - 1 - prev)},
+				})
+			}
+		}
+		for ti < len(ep.trace) && ep.trace[ti].ev.Cycle <= uint64(v) {
+			ep.trace[ti].sink.Emit(ep.trace[ti].ev)
+			ti++
+		}
+		prev = v
+	}
+	vk := prev // globally last acted cycle; the engine lands here
+	for i, sk := range e.skippers {
+		if sk != nil && i != e.shardedIdx {
+			// The non-sharded tickers were quiescent over (from, vk]:
+			// account those cycles exactly as a fast-forward jump would
+			// (vk itself was not ticked either, hence the +1 bound).
+			sk.SkipCycles(from, vk+1)
+		}
+	}
+	e.now = vk
+	if !stillBusy && !e.lastOtherBusy && e.events.len() == 0 {
+		// The system quiesced at vk, where a serial run's Step would
+		// have returned busy=false: reproduce Run's exit at that exact
+		// cycle. done() cannot have become true inside the window (only
+		// the sharded ticker acted), so a completion predicate means
+		// deadlock, as in Run.
+		if done == nil {
+			return true, e.now, nil, true
+		}
+		if done() {
+			return true, e.now, nil, true
+		}
+		return true, e.now, fmt.Errorf("sim: deadlock at cycle %d (no component busy, done()==false)", e.now), true
+	}
+	// Jump out of the window the way a serial fastForward at vk would,
+	// but without re-querying the hinters that provably did not move:
+	// only the sharded component acted inside the window, so every
+	// non-sharded wake target computed at the epoch start -- an absolute
+	// cycle at or beyond t > vk -- is still exact, and otherMin is still
+	// their minimum. Serial equivalence of the no-jump cases: a serial
+	// scan at vk aborts iff some hinter's wake w <= vk+1; since every
+	// w >= otherMin >= t >= vk+1, that happens iff otherMin == vk+1.
+	// Only the sharded hint and the event head (which gained the
+	// window's completions) need a fresh look.
+	if otherMin <= e.now+1 {
+		return false, 0, nil, true
+	}
+	sw, swOK := e.sharded.NextWake(e.now)
+	if !swOK || sw <= e.now+1 {
+		return false, 0, nil, true
+	}
+	target := otherMin
+	if e.events.len() > 0 && e.events.items[0].at < target {
+		target = e.events.items[0].at
+	}
+	if sw < target {
+		target = sw
+	}
+	if target == NeverWake {
+		return false, 0, nil, true
+	}
+	if e.MaxCycles != 0 && target > e.MaxCycles {
+		target = e.MaxCycles
+		if target <= e.now+1 {
+			return false, 0, nil, true
+		}
+	}
+	e.jumpTo(target)
+	return false, 0, nil, true
+}

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the intra-run parallel scheduler: a fixed pool of
+// worker goroutines that advance independent shards of one simulated
+// machine between deterministic barriers. The companion file epoch.go
+// holds the engine-side epoch scheduler that decides *when* the shards
+// may run ahead of the serial tickers; here live the mechanisms — the
+// static partitioner, the spin/park worker pool, and the effect
+// mailbox (Epoch) through which shards publish externally visible
+// effects for a serial, fixed-order merge.
+//
+// The cardinal rule is that worker goroutines never touch shared
+// simulator state: a shard unit reads and writes only its own
+// component slice and its own mailbox. Everything observable — event
+// scheduling, statistics, trace emission — happens on the simulating
+// goroutine, in an order that is a pure function of simulated time and
+// unit index. That is what makes results byte-identical regardless of
+// shard count or goroutine interleaving; the equivalence matrix in
+// internal/exp pins it against the serial engine.
+
+// Parallel executes f(unit) for every unit in [0, n), possibly on
+// multiple goroutines, and returns only when all calls have finished
+// (a full barrier). Implementations guarantee that writes made inside
+// f happen-before Run returns. A nil *ShardPool is a valid Parallel
+// that runs every unit on the caller.
+type Parallel interface {
+	Run(n int, f func(unit int))
+}
+
+// ShardedTicker is the optional Ticker extension for a component that
+// can advance internal shard units concurrently between barriers.
+// The engine drives it instead of plain Tick when shards are enabled
+// (Engine.SetShards).
+//
+// Contract, on top of Ticker/WakeHinter/CycleSkipper:
+//
+//   - TickSharded(now, p) must be observably identical to Tick(now):
+//     same state transitions, same statistics, same scheduled events in
+//     the same order, same trace events in the same order. It may use p
+//     to advance units concurrently, provided all externally visible
+//     effects are applied serially in fixed unit order afterwards.
+//   - EffectLookahead(now) returns a conservative lower bound on the
+//     earliest cycle at which advancing the component past now could
+//     schedule an engine event or otherwise affect another component.
+//     NeverWake promises that no external effect can be generated
+//     before some other component acts first. Unlike NextWake, the
+//     bound must stay valid while the component itself keeps acting.
+//   - AdvanceShards(from, upTo, p, ep) advances every unit through all
+//     of its actions in (from, upTo], recording externally visible
+//     effects into ep (see Epoch) instead of applying them, and
+//     bulk-accounting its own per-cycle statistics exactly as a
+//     cycle-by-cycle run would. It must not call Engine.Schedule
+//     directly, must not generate effects before EffectLookahead's
+//     bound, and must report whether the component still has work
+//     outstanding afterwards (the same bool Tick would return).
+//   - While hinting (NextWake) the component's busy report must be a
+//     pure function of its state, so the engine can reuse the busy
+//     status captured at the last real step across an epoch.
+type ShardedTicker interface {
+	Ticker
+	WakeHinter
+	CycleSkipper
+	// ShardUnits returns the number of independently advanceable units
+	// (e.g. DRAM channels). It is constant over the component's life.
+	ShardUnits() int
+	TickSharded(now Cycle, p Parallel) bool
+	EffectLookahead(now Cycle) Cycle
+	AdvanceShards(from, upTo Cycle, p Parallel, ep *Epoch) (busy bool)
+}
+
+// Partition splits units [0, n) into k contiguous blocks whose sizes
+// differ by at most one: block i covers [Bounds[i], Bounds[i+1]). It
+// is the static shard assignment used by ShardPool — contiguous so
+// that neighbouring units (which share cache lines in component
+// arrays) land on the same lane. Every unit lands in exactly one block
+// and empty blocks appear only when k > n; FuzzShardSchedule pins
+// these properties.
+func Partition(n, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	bounds := make([]int, k+1)
+	for i := 1; i <= k; i++ {
+		bounds[i] = n * i / k
+	}
+	return bounds
+}
+
+// shardTask is one dispatched barrier region: the function and unit
+// count workers execute, published before gen is bumped.
+type shardTask struct {
+	f      func(unit int)
+	bounds []int // Partition(n, lanes); lane i runs [bounds[i], bounds[i+1])
+}
+
+// ShardPool is a fixed set of worker goroutines executing barrier
+// regions dispatched by a single coordinating goroutine (the engine's
+// Run loop). Workers spin briefly waiting for the next region — a
+// dispatch during a dense simulation phase arrives within
+// microseconds — and park on a condition variable when the simulation
+// goes serial for long stretches, so an idle pool costs no CPU.
+//
+// Run is not safe for concurrent use; exactly one goroutine
+// dispatches. NewShardPool(1) (or nil) spawns no workers and runs
+// every unit on the caller, which keeps single-lane sharding (epoch
+// batching without goroutines) allocation- and synchronization-free.
+type ShardPool struct {
+	lanes int
+	// width is the fan-out actually used: min(lanes, GOMAXPROCS).
+	// Requesting more lanes than the runtime has processors to run
+	// them on cannot go faster — the extra goroutines would only add
+	// scheduling and barrier traffic — and because every unit is
+	// processed exactly once and merged in unit order, the partition
+	// width is invisible in the results. Lanes still reports the
+	// requested count.
+	width int
+
+	task shardTask
+	gen  atomic.Uint64 // bumped once per dispatched region
+	done atomic.Int64  // worker lanes still running the current region
+
+	// partN/partBounds cache Partition(n, lanes) for the last dispatched
+	// unit count, so steady-state dispatches allocate nothing.
+	partN      int
+	partBounds []int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parked int
+	quit   bool
+}
+
+// spinBudget is how many polls a worker (or the dispatcher, waiting
+// for the barrier) performs before yielding the processor, and how
+// many yields it performs before parking. Dense phases dispatch every
+// few hundred nanoseconds, so parking is reached only when the
+// simulation genuinely goes serial.
+const (
+	spinBudget  = 64
+	yieldBudget = 256
+)
+
+// NewShardPool starts a pool with the given number of lanes. The
+// calling goroutine is lane 0, so lanes-1 workers are spawned; lanes
+// <= 1 spawns none. Close must be called to release the workers.
+func NewShardPool(lanes int) *ShardPool {
+	if lanes < 1 {
+		lanes = 1
+	}
+	width := lanes
+	if mp := runtime.GOMAXPROCS(0); width > mp {
+		width = mp
+	}
+	p := &ShardPool{lanes: lanes, width: width}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 1; i < width; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// Lanes returns the pool's lane count (including the caller's lane).
+func (p *ShardPool) Lanes() int {
+	if p == nil {
+		return 1
+	}
+	return p.lanes
+}
+
+// Wide reports whether Run can actually execute units concurrently —
+// more than one effective lane after the GOMAXPROCS cap. Components
+// whose sharded tick path buffers effects into per-unit mailboxes
+// purely to feed a parallel merge use it to fall back to their serial
+// path when the pool would run everything inline anyway.
+func (p *ShardPool) Wide() bool { return p != nil && p.width > 1 }
+
+// Run implements Parallel: lane 0 (the caller) and the worker lanes
+// each execute their Partition block of [0, n), and Run returns once
+// every unit has finished. A nil pool, a single-lane pool, or a
+// single-unit region all run inline.
+func (p *ShardPool) Run(n int, f func(unit int)) {
+	if p == nil || p.width <= 1 || n <= 1 {
+		for u := 0; u < n; u++ {
+			f(u)
+		}
+		return
+	}
+	if p.partBounds == nil || p.partN != n {
+		p.partBounds = Partition(n, p.width)
+		p.partN = n
+	}
+	bounds := p.partBounds
+	p.task = shardTask{f: f, bounds: bounds}
+	p.done.Store(int64(p.width - 1))
+	p.gen.Add(1) // release-publishes task to spinning workers
+	p.mu.Lock()
+	if p.parked > 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	// Lane 0 takes its own block while the workers run theirs.
+	for u := bounds[0]; u < bounds[1]; u++ {
+		f(u)
+	}
+	// Barrier: wait for every worker lane. The acquire-load of done
+	// orders the workers' unit writes before Run returns.
+	for spins := 0; p.done.Load() != 0; spins++ {
+		if spins > spinBudget {
+			runtime.Gosched()
+		}
+	}
+}
+
+// worker is the loop of lane id: wait for a new generation, run the
+// lane's block, signal the barrier.
+func (p *ShardPool) worker(id int) {
+	seen := uint64(0)
+	for {
+		spins := 0
+		for p.gen.Load() == seen {
+			spins++
+			if spins < spinBudget {
+				continue
+			}
+			if spins < spinBudget+yieldBudget {
+				runtime.Gosched()
+				continue
+			}
+			// Park until the next dispatch (or shutdown). Re-check gen
+			// under the lock: a dispatch between our last load and
+			// Lock would otherwise be missed.
+			p.mu.Lock()
+			for p.gen.Load() == seen && !p.quit {
+				p.parked++
+				p.cond.Wait()
+				p.parked--
+			}
+			quit := p.quit
+			p.mu.Unlock()
+			if quit {
+				return
+			}
+		}
+		seen = p.gen.Load()
+		t := p.task
+		if t.f == nil { // shutdown dispatch
+			return
+		}
+		for u := t.bounds[id]; u < t.bounds[id+1]; u++ {
+			t.f(u)
+		}
+		p.done.Add(-1)
+	}
+}
+
+// Close releases the worker goroutines. It must not be called while
+// Run is executing; calling Run after Close is undefined. Close is
+// idempotent and safe on a nil pool.
+func (p *ShardPool) Close() {
+	if p == nil || p.width <= 1 {
+		return
+	}
+	p.mu.Lock()
+	if p.quit {
+		p.mu.Unlock()
+		return
+	}
+	p.quit = true
+	p.task = shardTask{} // nil f: spinning workers exit on next pickup
+	p.gen.Add(1)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

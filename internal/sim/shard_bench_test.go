@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkShardedEpochAdvance measures the epoch scheduler's batching
+// mechanism against the serial engine on the synthetic sharded machine
+// from shard_test.go: 8 units (the shape of a DRAM channel array) with
+// dense precomputed schedules whose externally visible effects are
+// sparse (one engine event per 256 actions), so epoch windows span
+// hundreds of acted cycles. In this regime one AdvanceShards call plus
+// a fixed-order merge replaces a full engine visit — hinter scan,
+// component ticks, event-heap peek — per acted cycle, which is the
+// speedup the design buys independent of goroutine fan-out: shards=1
+// runs the identical epoch path with zero worker goroutines. This
+// benchmark backs the serial/shards=4 speedup gate in cmd/benchdiff;
+// the gate is a ratio of two runs of the same synthetic work, so it is
+// machine-independent and holds even on a single-CPU host.
+//
+// The end-to-end companion is BenchmarkShardedRun in internal/exp,
+// which records honest full-system numbers: there every CAS schedules
+// a completion event a fixed latency out, so completions fire at the
+// action rate, the event head bounds every window to a few cycles, and
+// sharding is roughly neutral on one CPU — benchdiff gates only that
+// it stays neutral.
+func BenchmarkShardedEpochAdvance(b *testing.B) {
+	// Schedules are read-only during a run (units track their own
+	// progress index), so one deterministic set serves every iteration.
+	schedules := synthSchedules(8, 16384, 7)
+	const (
+		lookahead = Cycle(8192)
+		evPeriod  = 256
+	)
+	for _, shards := range []int{0, 1, 2, 4} {
+		name := "serial"
+		if shards > 0 {
+			name = fmt.Sprintf("shards=%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runSynthEv(b, schedules, lookahead, shards, evPeriod)
+			}
+		})
+	}
+}
