@@ -11,7 +11,10 @@
 // benchmark. Because a gate compares two measurements from one host
 // and one binary, it is machine-independent where the absolute ns/op
 // comparison is not, and it fails hard rather than drifting with the
-// hardware.
+// hardware. Gates that demand real parallelism (the sharded end-to-end
+// speedup) declare min_procs: on hosts whose GOMAXPROCS is below it
+// they are enforced at a documented fallback ratio instead, visibly
+// marked in the report.
 //
 // Usage:
 //
@@ -49,13 +52,26 @@ type baseline struct {
 // fresh run: numerator ns/op divided by denominator ns/op must be at
 // least MinRatio. Gates express "A must stay N times slower than B"
 // invariants (the epoch scheduler's batching win, the sharded engine's
-// end-to-end neutrality) that absolute ns/op budgets cannot.
+// end-to-end speedup) that absolute ns/op budgets cannot.
+//
+// A gate may be proc-conditional: when MinProcs is set and the fresh
+// run's GOMAXPROCS (read from the benchmark names' -N suffix) is below
+// it, FallbackMinRatio is enforced instead of MinRatio. This is how a
+// real multi-core speedup requirement (cores fanned across worker
+// goroutines) degrades to a neutrality floor on hosts without the
+// parallelism to deliver it — the worker pool clamps to GOMAXPROCS, so
+// below MinProcs the sharded engine can only be asked not to tax the
+// run, not to accelerate it.
 type speedupGate struct {
 	Name        string  `json:"name"`
 	Numerator   string  `json:"numerator"`
 	Denominator string  `json:"denominator"`
 	MinRatio    float64 `json:"min_ratio"`
-	Note        string  `json:"note,omitempty"`
+	// MinProcs, when > 0, is the GOMAXPROCS the MinRatio requirement
+	// assumes; below it FallbackMinRatio applies.
+	MinProcs         int     `json:"min_procs,omitempty"`
+	FallbackMinRatio float64 `json:"fallback_min_ratio,omitempty"`
+	Note             string  `json:"note,omitempty"`
 }
 
 // benchPackages lists where the baselined microbenchmarks and the
@@ -89,18 +105,19 @@ func main() {
 		fatal(err)
 	}
 	var fresh map[string]float64
+	var procs int
 	if *input != "" {
 		f, err := os.Open(*input)
 		if err != nil {
 			fatal(err)
 		}
-		fresh, err = parseBench(f)
+		fresh, procs, err = parseBench(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
 	} else {
-		fresh, err = runBenchmarks()
+		fresh, procs, err = runBenchmarks()
 		if err != nil {
 			fatal(err)
 		}
@@ -108,7 +125,7 @@ func main() {
 
 	regressions, report := diff(base, fresh, *threshold)
 	fmt.Print(report)
-	gateFailures, gateReport := checkGates(gates, fresh)
+	gateFailures, gateReport := checkGates(gates, fresh, procs)
 	fmt.Print(gateReport)
 	if regressions > 0 {
 		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%\n", regressions, 100**threshold)
@@ -138,6 +155,9 @@ func loadBaseline(path string) (map[string]float64, []speedupGate, error) {
 		if g.Name == "" || g.Numerator == "" || g.Denominator == "" || g.MinRatio <= 0 {
 			return nil, nil, fmt.Errorf("%s: malformed speedup gate %+v", path, g)
 		}
+		if g.MinProcs > 0 && g.FallbackMinRatio <= 0 {
+			return nil, nil, fmt.Errorf("%s: gate %s sets min_procs without fallback_min_ratio", path, g.Name)
+		}
 	}
 	out := make(map[string]float64, len(doc.Microbenchmarks))
 	for name, e := range doc.Microbenchmarks {
@@ -147,9 +167,11 @@ func loadBaseline(path string) (map[string]float64, []speedupGate, error) {
 }
 
 // runBenchmarks executes the gated benchmark sets and folds their
-// output into one result map.
-func runBenchmarks() (map[string]float64, error) {
+// output into one result map, along with the highest GOMAXPROCS any
+// benchmark ran at.
+func runBenchmarks() (map[string]float64, int, error) {
 	all := map[string]float64{}
+	procs := 0
 	for _, set := range benchPackages {
 		args := []string{"test", "-run", "^$", "-bench", set.pattern, "-benchmem"}
 		args = append(args, set.extra...)
@@ -158,25 +180,32 @@ func runBenchmarks() (map[string]float64, error) {
 		cmd.Stderr = os.Stderr
 		out, err := cmd.Output()
 		if err != nil {
-			return nil, fmt.Errorf("go test -bench %s %s: %w", set.pattern, set.pkg, err)
+			return nil, 0, fmt.Errorf("go test -bench %s %s: %w", set.pattern, set.pkg, err)
 		}
-		got, err := parseBench(strings.NewReader(string(out)))
+		got, p, err := parseBench(strings.NewReader(string(out)))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
+		}
+		if p > procs {
+			procs = p
 		}
 		for k, v := range got {
 			all[k] = v
 		}
 	}
-	return all, nil
+	return all, procs, nil
 }
 
 // parseBench extracts ns/op per benchmark from standard `go test
-// -bench` output. The -N GOMAXPROCS suffix is stripped; when the same
-// benchmark appears multiple times (e.g. -count), the fastest run wins
-// — the minimum is the least noisy estimate of the code's cost.
-func parseBench(r io.Reader) (map[string]float64, error) {
+// -bench` output. The -N GOMAXPROCS suffix is stripped from the keys
+// but its maximum is returned alongside: proc-conditional gates use it
+// to decide whether the run had the parallelism their full ratio
+// assumes. When the same benchmark appears multiple times (e.g.
+// -count), the fastest run wins — the minimum is the least noisy
+// estimate of the code's cost.
+func parseBench(r io.Reader) (map[string]float64, int, error) {
 	out := map[string]float64{}
+	procs := 0
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -190,7 +219,7 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 			if fields[i+1] == "ns/op" {
 				v, err := strconv.ParseFloat(fields[i], 64)
 				if err != nil {
-					return nil, fmt.Errorf("bad ns/op %q in %q", fields[i], sc.Text())
+					return nil, 0, fmt.Errorf("bad ns/op %q in %q", fields[i], sc.Text())
 				}
 				ns, found = v, true
 				break
@@ -201,15 +230,18 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		}
 		name := fields[0]
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			if p, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
+				if p > procs {
+					procs = p
+				}
 			}
 		}
 		if prev, ok := out[name]; !ok || ns < prev {
 			out[name] = ns
 		}
 	}
-	return out, sc.Err()
+	return out, procs, sc.Err()
 }
 
 // diff compares fresh results against the baseline and renders the
@@ -248,8 +280,11 @@ func diff(base, fresh map[string]float64, threshold float64) (int, string) {
 // checkGates enforces the baseline's speedup gates against the fresh
 // results and renders the gate table. A gate whose benchmarks are
 // missing from the run fails: a silently skipped gate would read as a
-// pass.
-func checkGates(gates []speedupGate, fresh map[string]float64) (int, string) {
+// pass. procs is the run's GOMAXPROCS (from parseBench); a gate with
+// min_procs above it is enforced at its documented fallback ratio
+// instead, and the report says so — the downgrade is visible, never
+// silent.
+func checkGates(gates []speedupGate, fresh map[string]float64, procs int) (int, string) {
 	if len(gates) == 0 {
 		return 0, ""
 	}
@@ -257,6 +292,12 @@ func checkGates(gates []speedupGate, fresh map[string]float64) (int, string) {
 	failures := 0
 	fmt.Fprintf(&b, "\n%-26s %8s %8s\n", "speedup gate", "ratio", "min")
 	for _, g := range gates {
+		min := g.MinRatio
+		note := ""
+		if g.MinProcs > 0 && procs < g.MinProcs {
+			min = g.FallbackMinRatio
+			note = fmt.Sprintf("  (fallback: %d procs < %d)", procs, g.MinProcs)
+		}
 		num, okN := fresh[g.Numerator]
 		den, okD := fresh[g.Denominator]
 		if !okN || !okD || den == 0 {
@@ -264,17 +305,17 @@ func checkGates(gates []speedupGate, fresh map[string]float64) (int, string) {
 			if okN {
 				missing = g.Denominator
 			}
-			fmt.Fprintf(&b, "%-26s %8s %8.2f  FAIL (%s missing)\n", g.Name, "-", g.MinRatio, missing)
+			fmt.Fprintf(&b, "%-26s %8s %8.2f  FAIL (%s missing)\n", g.Name, "-", min, missing)
 			failures++
 			continue
 		}
 		ratio := num / den
 		mark := ""
-		if ratio < g.MinRatio {
+		if ratio < min {
 			mark = "  FAIL"
 			failures++
 		}
-		fmt.Fprintf(&b, "%-26s %8.2f %8.2f%s\n", g.Name, ratio, g.MinRatio, mark)
+		fmt.Fprintf(&b, "%-26s %8.2f %8.2f%s%s\n", g.Name, ratio, min, mark, note)
 	}
 	return failures, b.String()
 }

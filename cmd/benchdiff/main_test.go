@@ -18,7 +18,7 @@ BenchmarkDRAMTick-8        	  876543	      1400 ns/op	      12 B/op	       0 all
 `
 
 func TestParseBench(t *testing.T) {
-	got, err := parseBench(strings.NewReader(cannedBench))
+	got, procs, err := parseBench(strings.NewReader(cannedBench))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +36,14 @@ func TestParseBench(t *testing.T) {
 			t.Errorf("%s = %v, want %v", name, got[name], ns)
 		}
 	}
+	if procs != 8 {
+		t.Errorf("procs = %d, want 8 (from the -8 suffix)", procs)
+	}
 }
 
 func TestParseBenchKeepsFastestDuplicate(t *testing.T) {
 	in := "BenchmarkX-8 100 50.0 ns/op\nBenchmarkX-8 100 40.0 ns/op\nBenchmarkX-8 100 45.0 ns/op\n"
-	got, err := parseBench(strings.NewReader(in))
+	got, _, err := parseBench(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,10 +96,13 @@ func TestLoadBaselineFromRepoRoot(t *testing.T) {
 	if len(gates) == 0 {
 		t.Fatal("committed baseline carries no speedup gates")
 	}
-	var epochGate *speedupGate
+	var epochGate, runGate *speedupGate
 	for i := range gates {
-		if gates[i].Denominator == "BenchmarkShardedEpochAdvance/shards=4" {
+		switch gates[i].Denominator {
+		case "BenchmarkShardedEpochAdvance/shards=4":
 			epochGate = &gates[i]
+		case "BenchmarkShardedRun/XRAGE-large16/shards=4":
+			runGate = &gates[i]
 		}
 	}
 	if epochGate == nil {
@@ -104,6 +110,20 @@ func TestLoadBaselineFromRepoRoot(t *testing.T) {
 	}
 	if epochGate.MinRatio < 1.3 {
 		t.Errorf("epoch batching gate min_ratio = %v, want >= 1.3", epochGate.MinRatio)
+	}
+	if runGate == nil {
+		t.Fatal("no gate on BenchmarkShardedRun/XRAGE-large16/shards=4")
+	}
+	// The end-to-end gate is a real multi-core speedup requirement with
+	// a documented single-CPU neutrality fallback, not a bare floor.
+	if runGate.MinRatio < 1.2 {
+		t.Errorf("sharded run gate min_ratio = %v, want >= 1.2", runGate.MinRatio)
+	}
+	if runGate.MinProcs < 4 {
+		t.Errorf("sharded run gate min_procs = %v, want >= 4", runGate.MinProcs)
+	}
+	if runGate.FallbackMinRatio < 0.85 {
+		t.Errorf("sharded run gate fallback_min_ratio = %v, want >= 0.85", runGate.FallbackMinRatio)
 	}
 }
 
@@ -118,12 +138,12 @@ func TestCheckGates(t *testing.T) {
 		"BenchmarkB/serial":   90,
 		"BenchmarkB/shards=4": 100, // 0.90x: above the 0.85 floor
 	}
-	if n, report := checkGates(gates, fresh); n != 0 {
+	if n, report := checkGates(gates, fresh, 8); n != 0 {
 		t.Fatalf("failures = %d, want 0\n%s", n, report)
 	}
 
 	fresh["BenchmarkA/serial"] = 120 // 1.20x: below the gate
-	n, report := checkGates(gates, fresh)
+	n, report := checkGates(gates, fresh, 8)
 	if n != 1 {
 		t.Fatalf("failures = %d, want 1\n%s", n, report)
 	}
@@ -132,7 +152,44 @@ func TestCheckGates(t *testing.T) {
 	}
 
 	delete(fresh, "BenchmarkB/shards=4") // a missing side must fail, not skip
-	if n, _ := checkGates(gates, fresh); n != 2 {
+	if n, _ := checkGates(gates, fresh, 8); n != 2 {
 		t.Errorf("failures with missing benchmark = %d, want 2", n)
+	}
+}
+
+// TestCheckGatesProcFallback pins the proc-conditional downgrade: a
+// gate demanding a 1.2x multi-core speedup enforces its 0.85 neutrality
+// fallback when the run had fewer procs than min_procs, and the report
+// names the downgrade. With enough procs the full ratio applies again.
+func TestCheckGatesProcFallback(t *testing.T) {
+	gates := []speedupGate{{
+		Name:             "run",
+		Numerator:        "BenchmarkR/serial",
+		Denominator:      "BenchmarkR/shards=4",
+		MinRatio:         1.2,
+		MinProcs:         4,
+		FallbackMinRatio: 0.85,
+	}}
+	fresh := map[string]float64{
+		"BenchmarkR/serial":   95,
+		"BenchmarkR/shards=4": 100, // 0.95x: neutral, no speedup
+	}
+	n, report := checkGates(gates, fresh, 1)
+	if n != 0 {
+		t.Fatalf("single-proc neutrality should pass the fallback:\n%s", report)
+	}
+	if !strings.Contains(report, "fallback: 1 procs < 4") {
+		t.Errorf("report does not name the fallback downgrade:\n%s", report)
+	}
+	if n, report := checkGates(gates, fresh, 4); n != 1 {
+		t.Fatalf("0.95x at 4 procs must fail the 1.2 gate:\n%s", report)
+	}
+	fresh["BenchmarkR/serial"] = 130 // 1.30x at 4 procs: real speedup
+	if n, report := checkGates(gates, fresh, 4); n != 0 {
+		t.Fatalf("1.30x at 4 procs should pass:\n%s", report)
+	}
+	fresh["BenchmarkR/serial"] = 80 // 0.80x: below even the fallback
+	if n, _ := checkGates(gates, fresh, 1); n != 1 {
+		t.Error("0.80x must fail the 0.85 fallback floor")
 	}
 }

@@ -44,7 +44,7 @@ func main() {
 		fig      = flag.String("fig", "", "regenerate a figure: 8a, 8bc, 9, 10, 11, 12, 13, 14, ablation or all")
 		names    = flag.String("workloads", "", "comma-separated workload subset for -fig")
 		jobs     = flag.Int("jobs", 0, "concurrent experiment runs (0 = one per CPU, 1 = serial)")
-		shards   = flag.Int("shards", 0, "goroutine lanes advancing each simulation's memory channels between deterministic epoch barriers (0 = serial engine; results are byte-identical)")
+		shards   = flag.Int("shards", 0, "goroutine lanes advancing each simulation's cores and memory channels between deterministic epoch barriers (0 = serial engine; results are byte-identical; speedup needs >= 4 procs, baseline/dmp modes benefit most)")
 		verbose  = flag.Bool("v", false, "dump raw statistics after -run")
 		asJSON   = flag.Bool("json", false, "emit -run results as JSON (the dx100d wire form)")
 		trace    = flag.String("trace", "", "with -run, stream the event trace to this file (.json = Chrome trace_event for chrome://tracing or Perfetto; anything else = JSON Lines)")

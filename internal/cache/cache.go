@@ -97,6 +97,14 @@ type Cache struct {
 	lastMiss   memspace.PAddr
 	lastStride int64
 
+	// def, when non-nil, receives event scheduling and tick-time
+	// counter bumps instead of the engine, so Access can be called from
+	// a core tick fanned out to a worker goroutine (see cpu.Array).
+	// Counters must ride the mailbox even though the cache itself is
+	// core-private: all L1s (and all L2s) share one stats prefix, so
+	// the counter objects are shared across units.
+	def *sim.Deferred
+
 	cAccesses   *sim.Counter
 	cHits       *sim.Counter
 	cMisses     *sim.Counter
@@ -136,6 +144,30 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // AttachTrace directs fill/eviction events into sink (nil detaches).
 func (c *Cache) AttachTrace(sink *obs.Sink) { c.trace = sink }
+
+// SetDeferred implements sim.Deferrable (nil restores direct engine
+// access). Only meaningful for core-private levels.
+func (c *Cache) SetDeferred(d *sim.Deferred) { c.def = d }
+
+// after schedules fn like eng.After, routed through the deferral
+// buffer while one is attached.
+func (c *Cache) after(delay sim.Cycle, fn func(sim.Cycle)) {
+	if c.def != nil {
+		c.def.After(delay, fn)
+		return
+	}
+	c.eng.After(delay, fn)
+}
+
+// bump increments ctr, routed through the deferral buffer while one is
+// attached (counter handles are shared across same-level caches).
+func (c *Cache) bump(ctr *sim.Counter) {
+	if c.def != nil {
+		c.def.Count(ctr, 1)
+		return
+	}
+	ctr.Inc()
+}
 
 func (c *Cache) indexTag(addr memspace.PAddr) (set int, tag uint64) {
 	l := uint64(addr) >> memspace.LineBits
@@ -239,7 +271,7 @@ func (c *Cache) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone fun
 	if m, ok := c.mshrs[lineAddr]; ok {
 		c.portUsed++
 		if kind != Prefetch {
-			c.cAccesses.Inc()
+			c.bump(c.cAccesses)
 			if onDone != nil {
 				m.waiters = append(m.waiters, onDone)
 			}
@@ -255,15 +287,15 @@ func (c *Cache) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone fun
 		if kind == Prefetch {
 			return true
 		}
-		c.cAccesses.Inc()
-		c.cHits.Inc()
+		c.bump(c.cAccesses)
+		c.bump(c.cHits)
 		c.stamp++
 		ln.used = c.stamp
 		if kind == Store {
 			ln.dirty = true
 		}
 		if onDone != nil {
-			c.eng.After(c.cfg.Latency, onDone)
+			c.after(c.cfg.Latency, onDone)
 		}
 		return true
 	}
@@ -274,10 +306,10 @@ func (c *Cache) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone fun
 	}
 	c.portUsed++
 	if kind != Prefetch {
-		c.cAccesses.Inc()
-		c.cMisses.Inc()
+		c.bump(c.cAccesses)
+		c.bump(c.cMisses)
 	} else {
-		c.cPrefetches.Inc()
+		c.bump(c.cPrefetches)
 	}
 	m := &mshr{addr: lineAddr, kind: kind}
 	if onDone != nil {
@@ -286,7 +318,7 @@ func (c *Cache) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone fun
 	c.mshrs[lineAddr] = m
 	// After the tag-check latency, forward below; on return, fill and
 	// wake the waiters.
-	c.eng.After(c.cfg.Latency, func(n sim.Cycle) {
+	c.after(c.cfg.Latency, func(n sim.Cycle) {
 		c.retryAccess(n, lineAddr, Load, func(n2 sim.Cycle) { c.fill(n2, m) })
 	})
 	if kind != Prefetch {
@@ -325,7 +357,7 @@ func (c *Cache) trainPrefetcher(now sim.Cycle, missAddr memspace.PAddr) {
 		for d := 1; d <= c.cfg.PrefetchDegree; d++ {
 			pa := memspace.PAddr(int64(missAddr) + stride*int64(d))
 			addr := pa
-			c.eng.After(1, func(n sim.Cycle) {
+			c.after(1, func(n sim.Cycle) {
 				// Best effort: dropped if ports/MSHRs are busy.
 				c.Access(n, addr, Prefetch, nil)
 			})

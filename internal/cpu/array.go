@@ -1,0 +1,159 @@
+package cpu
+
+import (
+	"dx100/internal/sim"
+)
+
+// Array bundles a machine's cores into one sim.EpochComponent so the
+// sharded engine can visit them as a unit inside epoch windows and,
+// when fan-out is enabled, tick independent cores concurrently on the
+// shard pool within one visited cycle.
+//
+// The correctness argument mirrors the DRAM sharding: worker
+// goroutines never touch shared simulator state. A core's tick is
+// classified *before* it runs (fanSafe, which peeks the µop stream up
+// to fetch width on the coordinator): a tick that could execute an
+// engine-external op — an Effect emitter or a Barrier predicate, both
+// arbitrary closures over shared simulation state — is "unsafe" and
+// runs inline on the coordinator, after the parallel region, in
+// ascending unit order (unsafe ticks are the only ones that read or
+// write cross-core state such as kernel-completion flags, so ordering
+// them among themselves serially preserves the serial interleaving).
+// Safe ticks touch only the core and its private cache path; their
+// engine-bound effects (event scheduling) are recorded into per-unit
+// sim.Deferred mailboxes. Every unit — safe or unsafe — runs with its
+// mailbox attached, and one replay pass in ascending unit order then
+// applies all buffered effects on the coordinator, which reproduces
+// the serial engine's event sequence numbering exactly. The shard
+// equivalence matrix in internal/exp pins byte-identical results
+// against the serial engine at every shard count.
+type Array struct {
+	eng     *sim.Engine
+	cores   []*Core
+	targets [][]sim.Deferrable // per-unit deferral targets (core first)
+	bufs    []sim.Deferred
+	fan     bool
+
+	// scratch, reused across ticks
+	safe    []bool
+	busy    []bool
+	safeIdx []int
+}
+
+// NewArray builds the component over cores (in their registration
+// order). It does not register itself: the cores remain the registered
+// tickers, and the caller binds the array over their span with
+// Engine.BindEpoch.
+func NewArray(eng *sim.Engine, cores []*Core) *Array {
+	a := &Array{
+		eng:     eng,
+		cores:   cores,
+		targets: make([][]sim.Deferrable, len(cores)),
+		bufs:    make([]sim.Deferred, len(cores)),
+		safe:    make([]bool, len(cores)),
+		busy:    make([]bool, len(cores)),
+		safeIdx: make([]int, 0, len(cores)),
+	}
+	for i, c := range cores {
+		a.targets[i] = []sim.Deferrable{c}
+	}
+	return a
+}
+
+// AddUnitTargets registers additional deferral targets for unit i —
+// the core-private components its tick calls into synchronously (its
+// L1/L2 and prefetcher). Anything a fanned-out tick can reach that
+// schedules engine events must be listed; shared levels (the LLC) are
+// only reached through already-deferred events and must not be.
+func (a *Array) AddUnitTargets(i int, ts ...sim.Deferrable) {
+	a.targets[i] = append(a.targets[i], ts...)
+}
+
+// EnableFanout allows TickSharded to run safe core ticks on pool
+// workers. Leave disabled when core ticks can touch shared state that
+// classification cannot see — the DX100 driver mode, where core loads
+// reach the accelerator's scratchpad port directly.
+func (a *Array) EnableFanout() { a.fan = true }
+
+// Tick implements sim.Ticker: every core, in order, inline.
+func (a *Array) Tick(now sim.Cycle) bool {
+	busy := false
+	for _, c := range a.cores {
+		if c.Tick(now) {
+			busy = true
+		}
+	}
+	return busy
+}
+
+// ShardUnits implements sim.EpochComponent.
+func (a *Array) ShardUnits() int { return len(a.cores) }
+
+// NextWake implements sim.WakeHinter: the earliest core wake.
+func (a *Array) NextWake(now sim.Cycle) (sim.Cycle, bool) {
+	min := sim.NeverWake
+	for _, c := range a.cores {
+		w, ok := c.NextWake(now)
+		if !ok {
+			return 0, false
+		}
+		if w < min {
+			min = w
+			if min <= now+1 {
+				return min, true
+			}
+		}
+	}
+	return min, true
+}
+
+// TickSharded implements sim.EpochComponent. With fan-out enabled and
+// a wide pool it classifies each core's upcoming tick, runs the safe
+// ones concurrently and the unsafe ones inline afterwards in unit
+// order, then replays every unit's deferred effects in unit order.
+// Observably identical to Tick in all cases.
+func (a *Array) TickSharded(now sim.Cycle, p sim.Parallel) bool {
+	if !a.fan || len(a.cores) < 2 {
+		return a.Tick(now)
+	}
+	w, ok := p.(interface{ Wide() bool })
+	if !ok || !w.Wide() {
+		return a.Tick(now)
+	}
+	a.safeIdx = a.safeIdx[:0]
+	for i, c := range a.cores {
+		a.safe[i] = c.fanSafe()
+		if a.safe[i] {
+			a.safeIdx = append(a.safeIdx, i)
+		}
+	}
+	if len(a.safeIdx) < 2 {
+		return a.Tick(now) // no parallelism to be had; skip the mailboxes
+	}
+	for i := range a.cores {
+		a.bufs[i].Reset()
+		for _, t := range a.targets[i] {
+			t.SetDeferred(&a.bufs[i])
+		}
+	}
+	p.Run(len(a.safeIdx), func(k int) {
+		u := a.safeIdx[k]
+		a.busy[u] = a.cores[u].Tick(now)
+	})
+	for i, c := range a.cores {
+		if !a.safe[i] {
+			a.busy[i] = c.Tick(now)
+		}
+	}
+	busy := false
+	for i := range a.cores {
+		for _, t := range a.targets[i] {
+			t.SetDeferred(nil)
+		}
+		a.bufs[i].Replay(a.eng)
+		if a.busy[i] {
+			busy = true
+		}
+	}
+	return busy
+}

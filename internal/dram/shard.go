@@ -141,7 +141,12 @@ func (s *System) applyEdge(fx *chanFx) {
 	}
 	if len(fx.comps) > 0 {
 		for _, c := range fx.comps {
-			s.eng.Schedule(c.at, c.fn)
+			// Completions ride the engine's completion lane: under a
+			// sharded run they land in the epoch mailbox heap instead of
+			// the main event heap, so pending CAS completions no longer
+			// cap the epoch window. Delivery order (cycle, seq) is
+			// identical either way.
+			s.eng.ScheduleCompletion(c.at, c.fn)
 		}
 		fx.comps = fx.comps[:0]
 	}

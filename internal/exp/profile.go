@@ -17,6 +17,7 @@ import (
 type profiler struct {
 	sampler  *prof.Sampler
 	accounts []*prof.CoreAccount
+	eng      *sim.Engine
 	armed    bool
 	startAbs uint64 // absolute engine cycle of measurement start
 }
@@ -85,6 +86,7 @@ func newProfiler(s *system, opts RunOptions) *profiler {
 	}
 
 	eng := s.eng
+	p.eng = eng
 	p.sampler.Ratio("ff_skip",
 		func() float64 { _, skipped := eng.FastForwarded(); return float64(skipped) },
 		func() float64 { return float64(eng.Now()) })
@@ -125,6 +127,13 @@ func (p *profiler) begin(start sim.Cycle) {
 func (p *profiler) maybeSample(now sim.Cycle) {
 	if p == nil || !p.armed {
 		return
+	}
+	if p.eng.InEpochWindow() {
+		// Probes read shared counters that units may still be batching
+		// into mailboxes mid-window; a sample here would see a state no
+		// serial run ever exposes. Epoch windows are bounded by the check
+		// cadence, so the hook must only ever fire between windows.
+		panic(fmt.Sprintf("exp: profiler sampled inside an epoch window at cycle %d", now))
 	}
 	if p.sampler.Due(uint64(now)) {
 		p.sampler.Sample(uint64(now))

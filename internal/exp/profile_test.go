@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"dx100/internal/obs"
@@ -67,6 +68,7 @@ func TestProfiledShardEquivalence(t *testing.T) {
 		mode Mode
 	}{
 		{"GZZ", Baseline},
+		{"GZZ", DMP}, // deferred shared-counter path (dmp./l1d./l2.) under fan-out
 		{"micro.gather", DX},
 		{"IS", DX},
 	} {
@@ -101,6 +103,54 @@ func TestProfiledShardEquivalence(t *testing.T) {
 				checkConservation(t, res)
 			}
 		})
+	}
+}
+
+// TestProfiledShardFFSkipAndConservation names the two telemetry
+// invariants that mailbox completion delivery must preserve, beyond
+// whole-wire identity: the ff_skip probe (skipped cycles / elapsed
+// cycles, sampled at every window edge) matches the serial run sample
+// by sample — so routing DRAM completions through the epoch mailbox
+// changed neither how far the engine jumps nor what the probe reads at
+// each barrier — and the per-core stall buckets still sum exactly to
+// each core's cycle counter when those buckets were filled by fanned-out
+// core ticks. GOMAXPROCS is forced to 4 so the worker-pool path runs
+// even on single-CPU hosts (hence no t.Parallel(); see the wide-fanout
+// shard test). The profiler independently panics if the sampler ever
+// fires inside an open epoch window, so a pass here also certifies that
+// every sample landed on a barrier.
+func TestProfiledShardFFSkipAndConservation(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, mode := range []Mode{Baseline, DMP} {
+		serial, err := RunOpts("GZZ", 1, Default(mode), RunOptions{ProfileWindow: profileWindow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := RunOpts("GZZ", 1, Default(mode), RunOptions{ProfileWindow: profileWindow, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want, got []float64
+		for _, s := range serial.Timeline.Series {
+			if s.Name == "ff_skip" {
+				want = s.Values
+			}
+		}
+		for _, s := range sharded.Timeline.Series {
+			if s.Name == "ff_skip" {
+				got = s.Values
+			}
+		}
+		if len(want) == 0 || len(want) != len(got) {
+			t.Fatalf("%s: ff_skip series lengths: serial %d, sharded %d", mode, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("%s: ff_skip[%d] = %v sharded, %v serial", mode, i, got[i], want[i])
+			}
+		}
+		checkConservation(t, sharded)
 	}
 }
 

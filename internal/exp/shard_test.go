@@ -2,8 +2,10 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
+	"dx100/internal/sim"
 	"dx100/internal/workloads"
 )
 
@@ -34,14 +36,18 @@ func shardCell(t *testing.T, name string, mode Mode, noFF bool, shards int) stri
 }
 
 // shardCounts spans the interesting pool shapes: 1 (epoch batching with
-// no worker goroutines), an even split, the channel count, and more
-// lanes than channels (the cap in RunOptions must bite).
+// no worker goroutines), an even split, the core/channel count, and
+// more lanes than any single component has units (excess lanes idle in
+// that component's dispatch but still serve the wider ones — cores and
+// channels shard independently, there is no cap at the channel count).
 var shardCounts = []int{1, 2, 4, 8}
 
 // TestShardEquivalenceMatrix is the equivalence matrix: three
-// representative workloads × both measured systems × fast-forward
-// on/off × every shard count, each cell compared byte-for-byte against
-// the serial engine.
+// representative workloads × all three measured systems (baseline
+// cores+DRAM, DMP with its deferred shared counters, DX100 with the
+// accelerator bound as an epoch component) × fast-forward on/off ×
+// every shard count, each cell compared byte-for-byte against the
+// serial engine.
 func TestShardEquivalenceMatrix(t *testing.T) {
 	counts := shardCounts
 	if raceDetectorEnabled {
@@ -51,7 +57,7 @@ func TestShardEquivalenceMatrix(t *testing.T) {
 		counts = []int{4}
 	}
 	for _, name := range detNames {
-		for _, mode := range []Mode{Baseline, DX} {
+		for _, mode := range []Mode{Baseline, DMP, DX} {
 			for _, noFF := range []bool{false, true} {
 				name, mode, noFF := name, mode, noFF
 				t.Run(fmt.Sprintf("%s/%s/noff=%v", name, mode, noFF), func(t *testing.T) {
@@ -72,16 +78,69 @@ func TestShardEquivalenceMatrix(t *testing.T) {
 	}
 }
 
+// TestEpochWindowWidth pins the payoff of mailbox completion delivery.
+// Before it, every DRAM CAS parked a completion event on the engine
+// heap a fixed latency out, so the heap head sat one CAS latency ahead
+// of the present and held epoch windows to ~1.5 acted cycles on the
+// 16-core LargeBaseline — the barrier cadence the whole sharded design
+// amortizes against. With completions riding the per-channel mailboxes
+// (delivered in deterministic (cycle, unit) order at the barrier), the
+// heap only carries genuinely global events and the mean window must
+// stay wide. 8 acted cycles per epoch is the floor the end-to-end
+// speedup budget assumes; regressing it means some component started
+// scheduling per-action events on the heap again.
+func TestEpochWindowWidth(t *testing.T) {
+	inst := workloads.Registry["XRAGE"](4)
+	var epochs, acted uint64
+	_, err := RunInstanceOpts(inst, LargeBaseline(), RunOptions{
+		Shards: 4,
+		OnEngineDone: func(e *sim.Engine) { epochs, acted = e.EpochStats() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs == 0 {
+		t.Fatal("sharded LargeBaseline run opened no epoch windows")
+	}
+	width := float64(acted) / float64(epochs)
+	t.Logf("epochs=%d actedCycles=%d mean width=%.2f", epochs, acted, width)
+	if width < 8 {
+		t.Errorf("mean epoch window = %.2f acted cycles, want >= 8", width)
+	}
+}
+
 // TestShardEquivalenceAllWorkloads sweeps every registered workload
 // once with an odd lane count (uneven channel partition) against
 // serial, on both systems — the breadth pass complementing the deep
 // matrix above.
+// TestShardEquivalenceWideFanout pins byte-identity with the worker
+// pool forced wide. The pool clamps its width to GOMAXPROCS, so on a
+// single-CPU host the default test run degrades core fan-out to the
+// inline path; this test raises GOMAXPROCS to 4 for its duration so the
+// parallel core-tick path (mailbox counters, deferred cache events,
+// per-unit replay order) genuinely executes regardless of host shape.
+// It must not call t.Parallel(): GOMAXPROCS is process-global, and the
+// sequential phase of the package run is the only safe place to flip it.
+func TestShardEquivalenceWideFanout(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	// Baseline fans the bare cores; DMP adds the deferred shared
+	// "dmp."/"l2." counters on the fanned trigger path.
+	for _, mode := range []Mode{Baseline, DMP} {
+		serial := shardCell(t, "GZZ", mode, false, 0)
+		if got := shardCell(t, "GZZ", mode, false, 4); got != serial {
+			t.Errorf("%s: shards=4 under GOMAXPROCS=4 diverges from serial:\n--- serial ---\n%s\n--- shards=4 ---\n%s",
+				mode, serial, got)
+		}
+	}
+}
+
 func TestShardEquivalenceAllWorkloads(t *testing.T) {
 	if raceDetectorEnabled {
 		t.Skip("breadth sweep checks byte-identity semantics, not interleavings; trimmed under -race (see norace_test.go)")
 	}
 	for _, name := range workloads.Order {
-		for _, mode := range []Mode{Baseline, DX} {
+		for _, mode := range []Mode{Baseline, DMP, DX} {
 			name, mode := name, mode
 			t.Run(fmt.Sprintf("%s/%s", name, mode), func(t *testing.T) {
 				t.Parallel()

@@ -1,0 +1,71 @@
+package sim
+
+// Deferred is a per-unit effect mailbox for epoch components that fan
+// their units out over the ShardPool within one visited cycle. Worker
+// goroutines must never touch shared engine state, so a unit's tick
+// records its engine-bound effects — event scheduling and shared-name
+// counter bumps — into its own Deferred; after the barrier, the
+// coordinator replays every unit's buffer in unit order. Because the
+// engine clock has not moved between the tick and the replay, the
+// replayed Schedule calls clamp to exactly the cycles the serial
+// engine would have used, and the unit-order replay reproduces the
+// serial seq assignment — so the fan-out is invisible in results.
+//
+// Event delays are recorded relative (the After delay), not absolute:
+// replay schedules at engine-now + delay, which equals the tick-time
+// After since the clock is unchanged.
+type Deferred struct {
+	evs  []deferredEvent
+	cnts []deferredCount
+	_pad [64]byte // keep neighbouring units' buffers off one cache line
+}
+
+type deferredEvent struct {
+	delay Cycle
+	fn    func(now Cycle)
+}
+
+type deferredCount struct {
+	c *Counter
+	v float64
+}
+
+// Deferrable is implemented by components that can reroute their
+// engine-bound effects through a Deferred while a fanned-out tick is
+// in flight. SetDeferred(nil) restores direct engine access.
+type Deferrable interface {
+	SetDeferred(*Deferred)
+}
+
+// Reset clears the buffer for a new cycle.
+func (d *Deferred) Reset() {
+	d.evs = d.evs[:0]
+	d.cnts = d.cnts[:0]
+}
+
+// After records an event to be scheduled delay cycles from the cycle
+// being ticked.
+func (d *Deferred) After(delay Cycle, fn func(now Cycle)) {
+	d.evs = append(d.evs, deferredEvent{delay: delay, fn: fn})
+}
+
+// Count records a counter bump. Only counters whose names are shared
+// across units need deferral; unit-private counters may be written
+// directly from workers.
+func (d *Deferred) Count(c *Counter, v float64) {
+	d.cnts = append(d.cnts, deferredCount{c: c, v: v})
+}
+
+// Replay applies the buffered effects: counters first-recorded-first,
+// events through ScheduleCompletion in recorded order. The caller
+// invokes Replay unit by unit in ascending unit order, on the
+// coordinating goroutine, with the engine clock still at the ticked
+// cycle.
+func (d *Deferred) Replay(e *Engine) {
+	for i := range d.cnts {
+		d.cnts[i].c.Add(d.cnts[i].v)
+	}
+	for i := range d.evs {
+		e.ScheduleCompletion(e.now+d.evs[i].delay, d.evs[i].fn)
+	}
+}

@@ -195,16 +195,40 @@ type Engine struct {
 	allHint  bool
 
 	// Sharded scheduler state (see shard.go/epoch.go): pool is non-nil
-	// once SetShards enabled intra-run parallelism, shardedIdx/sharded
-	// locate the single ShardedTicker the epoch scheduler drives (-1 /
-	// nil when none is registered), lastOtherBusy captures the
-	// non-sharded tickers' busy OR at the most recent step, and epoch
-	// is the reusable effect mailbox.
-	pool          *ShardPool
-	shardedIdx    int
-	sharded       ShardedTicker
+	// once SetShards enabled intra-run parallelism, epochComps is the
+	// multi-component registry built by Register (auto-binding) and
+	// BindEpoch — each entry covers a contiguous span of registered
+	// tickers driven through one EpochComponent.TickSharded call — and
+	// epoch is the reusable effect mailbox for bulk window advances.
+	//
+	// comps is the completion mailbox: a second event lane, ordered by
+	// the same (cycle, seq) key as the main heap, that carries
+	// cross-component completions (DRAM read/write done callbacks,
+	// cache fills) while the sharded scheduler runs. Both lanes are
+	// popped merged, so splitting them is invisible in results; the
+	// split is what lets the epoch window runner treat completions as
+	// in-window deliveries instead of window-capping heap heads.
+	pool       *ShardPool
+	epochComps []epochComp
+	epoch      Epoch
+	comps      minHeap[event]
+
+	// Window-runner working state, rebuilt per Run: compAt maps each
+	// ticker index to its epoch component (>= 0 at a component's first
+	// member, -2 at its remaining members, -1 outside any component),
+	// outside lists the uncovered ticker indices, bulkIdx locates the
+	// first component supporting bulk window advances (ShardedTicker),
+	// lastOtherBusy / lastCompBusy capture the busy reports of the most
+	// recent sharded step, and epochs/epochActed count opened windows
+	// and the cycles visited inside them (diagnostics, not Stats).
+	compAt        []int
+	outside       []int
+	bulkIdx       int
 	lastOtherBusy bool
-	epoch         Epoch
+	lastCompBusy  []bool
+	epochs        uint64
+	epochActed    uint64
+	inWindow      bool
 
 	// MaxCycles aborts the run when reached; it guards against
 	// deadlocked models in tests. Zero means no limit.
@@ -240,7 +264,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at cycle 0.
 func NewEngine() *Engine {
-	return &Engine{allHint: true, shardedIdx: -1}
+	return &Engine{allHint: true, bulkIdx: -1}
 }
 
 // Now returns the current cycle.
@@ -254,7 +278,28 @@ func (e *Engine) FastForwarded() (jumps, skippedCycles uint64) {
 	return e.ffJumps, e.ffSkipped
 }
 
-// Register adds a ticker stepped every cycle.
+// EpochStats reports how many epoch windows the sharded scheduler has
+// opened and how many cycles it visited inside them — the mean
+// actedCycles/epochs is the window width that decides whether the
+// parallel engine pays. Diagnostics only, kept out of the Stats
+// registry (like FastForwarded) so results stay independent of the
+// stepping strategy.
+func (e *Engine) EpochStats() (epochs, actedCycles uint64) {
+	return e.epochs, e.epochActed
+}
+
+// InEpochWindow reports whether the engine is currently inside an
+// epoch window runner invocation. The Check hook never fires there —
+// windows are bounded by the check cadence — so observers sampling
+// from Check (the simprof profiler) use this to assert they never read
+// mid-window state.
+func (e *Engine) InEpochWindow() bool { return e.inWindow }
+
+// Register adds a ticker stepped every cycle. A ticker that implements
+// EpochComponent is automatically bound as a single-member epoch
+// component (the DRAM system and the DX100 accelerators register this
+// way); multi-member components — the core array, the cache
+// hierarchy — are declared explicitly with BindEpoch.
 func (e *Engine) Register(t Ticker) {
 	e.tickers = append(e.tickers, t)
 	h, ok := t.(WakeHinter)
@@ -264,13 +309,61 @@ func (e *Engine) Register(t Ticker) {
 	e.hinters = append(e.hinters, h)
 	s, _ := t.(CycleSkipper)
 	e.skippers = append(e.skippers, s)
-	// The sharded scheduler drives one ShardedTicker (the memory
-	// system); the first one registered wins, any further ones are
-	// plain tickers.
-	if st, ok := t.(ShardedTicker); ok && e.shardedIdx < 0 {
-		e.shardedIdx = len(e.tickers) - 1
-		e.sharded = st
+	if ec, ok := t.(EpochComponent); ok {
+		e.bindEpoch(ec, len(e.tickers)-1, 1)
 	}
+}
+
+// BindEpoch declares that component c drives the given registered
+// tickers when the sharded scheduler runs: at their position in
+// registration order, one c.TickSharded call replaces the members'
+// individual Tick calls (and must be observably identical to them).
+// The members must have been registered, in this exact order,
+// contiguously; they keep their own WakeHinter/CycleSkipper roles for
+// the serial engine and for jump accounting. Call before Run.
+func (e *Engine) BindEpoch(c EpochComponent, members ...Ticker) {
+	if len(members) == 0 {
+		panic("sim: BindEpoch needs at least one member")
+	}
+	first := -1
+	for i, t := range e.tickers {
+		if t == members[0] {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		panic("sim: BindEpoch member not registered")
+	}
+	if first+len(members) > len(e.tickers) {
+		panic("sim: BindEpoch members exceed registered tickers")
+	}
+	for k, m := range members {
+		if e.tickers[first+k] != m {
+			panic("sim: BindEpoch members must be contiguous in registration order")
+		}
+	}
+	e.bindEpoch(c, first, len(members))
+}
+
+// bindEpoch inserts the component covering tickers [first, first+n)
+// into the registry, kept sorted by first member index.
+func (e *Engine) bindEpoch(c EpochComponent, first, n int) {
+	nc := epochComp{c: c, first: first, n: n}
+	nc.bulk, _ = c.(ShardedTicker)
+	pos := len(e.epochComps)
+	for i := range e.epochComps {
+		ec := &e.epochComps[i]
+		if first < ec.first+ec.n && ec.first < first+n {
+			panic("sim: BindEpoch ranges overlap")
+		}
+		if first < ec.first && i < pos {
+			pos = i
+		}
+	}
+	e.epochComps = append(e.epochComps, epochComp{})
+	copy(e.epochComps[pos+1:], e.epochComps[pos:])
+	e.epochComps[pos] = nc
 }
 
 // Schedule runs fn at cycle `at`. Scheduling in the past (or at the
@@ -288,20 +381,73 @@ func (e *Engine) After(delay Cycle, fn func(now Cycle)) {
 	e.Schedule(e.now+delay, fn)
 }
 
+// ScheduleCompletion is Schedule for cross-component completion
+// callbacks (a DRAM CAS finishing, a deferred cache response). On the
+// serial engine it is identical to Schedule. While the sharded
+// scheduler runs, the callback goes into the completion mailbox
+// instead of the main heap: both lanes share the (cycle, seq) order
+// and are popped merged, so delivery order is byte-identical — but the
+// epoch window runner delivers mailbox entries inside its windows
+// rather than letting them cap the window at the completion rate.
+func (e *Engine) ScheduleCompletion(at Cycle, fn func(now Cycle)) {
+	if at <= e.now {
+		at = e.now + 1
+	}
+	e.seq++
+	if e.shardedActive() {
+		e.comps.push(event{at: at, seq: e.seq, fn: fn})
+		return
+	}
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// fireDue pops and runs every event due at or before the current
+// cycle, merging the main heap and the completion mailbox in (cycle,
+// seq) order. The mailbox is empty on the serial engine, so the hot
+// serial path pays one length check.
+func (e *Engine) fireDue() (fired bool) {
+	if e.comps.len() == 0 {
+		for e.events.len() > 0 && e.events.items[0].at <= e.now {
+			ev := e.events.pop()
+			ev.fn(e.now)
+			fired = true
+		}
+		return fired
+	}
+	for {
+		he := e.events.len() > 0 && e.events.items[0].at <= e.now
+		hc := e.comps.len() > 0 && e.comps.items[0].at <= e.now
+		var ev event
+		switch {
+		case he && hc:
+			if e.events.items[0].before(e.comps.items[0]) {
+				ev = e.events.pop()
+			} else {
+				ev = e.comps.pop()
+			}
+		case he:
+			ev = e.events.pop()
+		case hc:
+			ev = e.comps.pop()
+		default:
+			return fired
+		}
+		ev.fn(e.now)
+		fired = true
+	}
+}
+
 // Step advances the clock one cycle: fires due events, then ticks every
 // ticker. It reports whether any component is still busy.
 func (e *Engine) Step() (busy bool) {
 	e.now++
-	for e.events.len() > 0 && e.events.items[0].at <= e.now {
-		ev := e.events.pop()
-		ev.fn(e.now)
-	}
+	e.fireDue()
 	for _, t := range e.tickers {
 		if t.Tick(e.now) {
 			busy = true
 		}
 	}
-	return busy || e.events.len() > 0
+	return busy || e.events.len() > 0 || e.comps.len() > 0
 }
 
 // fastForward jumps the clock to just before the next cycle at which
@@ -312,6 +458,9 @@ func (e *Engine) fastForward() {
 	target := NeverWake
 	if e.events.len() > 0 {
 		target = e.events.items[0].at
+	}
+	if e.comps.len() > 0 && e.comps.items[0].at < target {
+		target = e.comps.items[0].at
 	}
 	// Query latest-registered tickers first: cores and accelerators
 	// (cheap, registered last) usually decline during dense phases,
@@ -389,6 +538,9 @@ func (e *Engine) Run(done func() bool) (Cycle, error) {
 		interval = DefaultCheckEvery
 	}
 	sharded := e.shardedActive()
+	if sharded {
+		e.buildEpochPlan()
+	}
 	nextCheck := e.now + interval
 	for {
 		var busy bool

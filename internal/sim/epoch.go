@@ -83,14 +83,16 @@ func (ep *Epoch) AddActed(at Cycle) {
 // clock still shows the epoch start. Effects must land at or beyond
 // the EffectLookahead bound the epoch was sized with; landing inside
 // the window would mean the lookahead lied, so that is a panic, not a
-// silent divergence.
+// silent divergence. The callback goes into the completion mailbox —
+// the lane the window runner delivers in-window — which shares the
+// (cycle, seq) order with the main heap, so the split is invisible.
 func (ep *Epoch) Schedule(asOf, at Cycle, fn func(now Cycle)) {
 	if at <= asOf {
 		at = asOf + 1
 	}
 	e := ep.eng
 	e.seq++
-	e.events.push(event{at: at, seq: e.seq, fn: fn})
+	e.comps.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // EmitTrace buffers one trace event destined for sink (which must be
@@ -136,58 +138,131 @@ func (e *Engine) Close() {
 }
 
 // shardedActive reports whether Run should use the sharded scheduler:
-// shards were requested and a ShardedTicker is registered.
+// shards were requested and at least one epoch component is bound.
 func (e *Engine) shardedActive() bool {
-	return e.pool != nil && e.shardedIdx >= 0
+	return e.pool != nil && len(e.epochComps) > 0
+}
+
+// buildEpochPlan derives the window runner's working state from the
+// component registry: the per-ticker-index component map, the list of
+// uncovered ("outside") tickers, and the bulk component. Run rebuilds
+// it on entry, so tickers registered between runs (the warm-up
+// streamer) are always accounted.
+func (e *Engine) buildEpochPlan() {
+	n := len(e.tickers)
+	if cap(e.compAt) < n {
+		e.compAt = make([]int, n)
+	} else {
+		e.compAt = e.compAt[:n]
+	}
+	for i := range e.compAt {
+		e.compAt[i] = -1
+	}
+	e.outside = e.outside[:0]
+	e.bulkIdx = -1
+	for ci := range e.epochComps {
+		ec := &e.epochComps[ci]
+		e.compAt[ec.first] = ci
+		for k := 1; k < ec.n; k++ {
+			e.compAt[ec.first+k] = -2
+		}
+		if ec.bulk != nil && e.bulkIdx < 0 {
+			e.bulkIdx = ci
+		}
+	}
+	for i := 0; i < n; i++ {
+		if e.compAt[i] == -1 {
+			e.outside = append(e.outside, i)
+		}
+	}
+	if cap(e.lastCompBusy) < len(e.epochComps) {
+		e.lastCompBusy = make([]bool, len(e.epochComps))
+	} else {
+		e.lastCompBusy = e.lastCompBusy[:len(e.epochComps)]
+	}
 }
 
 // stepSharded is Step for the sharded scheduler: identical except that
-// the ShardedTicker ticks through TickSharded (which may fan the cycle
-// out over the pool) and the busy reports of the other tickers are
-// captured for epochAdvance's termination check.
-func (e *Engine) stepSharded() (busy bool) {
+// each epoch component ticks through one TickSharded call at its first
+// member's position (which may fan its units out over the pool), due
+// completions fire merged with the main heap, and the busy reports are
+// captured per component for the window runner's termination checks.
+func (e *Engine) stepSharded() bool {
+	busy, _ := e.stepShardedFired()
+	return busy
+}
+
+func (e *Engine) stepShardedFired() (busy, fired bool) {
 	e.now++
-	for e.events.len() > 0 && e.events.items[0].at <= e.now {
-		ev := e.events.pop()
-		ev.fn(e.now)
-	}
+	fired = e.fireDue()
 	other := false
-	for i, t := range e.tickers {
-		if i == e.shardedIdx {
-			if e.sharded.TickSharded(e.now, e.pool) {
+	for i := 0; i < len(e.tickers); {
+		ci := e.compAt[i]
+		if ci >= 0 {
+			ec := &e.epochComps[ci]
+			b := ec.c.TickSharded(e.now, e.pool)
+			e.lastCompBusy[ci] = b
+			if b {
 				busy = true
 			}
+			i = ec.first + ec.n
 			continue
 		}
-		if t.Tick(e.now) {
+		if ci == -2 { // interior member of a component span
+			i++
+			continue
+		}
+		if e.tickers[i].Tick(e.now) {
 			busy = true
 			other = true
 		}
+		i++
 	}
 	e.lastOtherBusy = other
-	return busy || e.events.len() > 0
+	return busy || e.events.len() > 0 || e.comps.len() > 0, fired
 }
 
-// epochStep is the sharded engine's counterpart of fastForward: one
-// scan over the wake hints serves both the epoch-eligibility decision
-// and the clock jump, so the sharded hot loop pays no more hint
-// queries per visited cycle than the serial engine does. It runs where
-// Run would call fastForward; when it opens an epoch it also performs
-// the jump out of the window (with a fresh scan -- the sharded
-// component's hints changed). On the rare path where the whole system
-// quiesces inside the window it returns end=true with Run's return
-// values, reproducing the serial termination cycle exactly.
-func (e *Engine) epochStep(nextCheck Cycle, done func() bool) (end bool, at Cycle, err error) {
-	// The scan replicates fastForward's no-jump conditions exactly: any
-	// hinter declining (!ok) or possibly acting on the very next cycle
-	// forfeits both the jump and the epoch. Hints are side-effect-free,
-	// so bailing early is unobservable and scan order cannot matter.
-	otherMin := NeverWake
-	for i, h := range e.hinters {
-		if i == e.shardedIdx {
-			continue
+// otherCompBusy reports whether any epoch component other than except
+// was busy at the most recent sharded step.
+func (e *Engine) otherCompBusy(except int) bool {
+	for ci := range e.lastCompBusy {
+		if ci != except && e.lastCompBusy[ci] {
+			return true
 		}
-		w, ok := h.NextWake(e.now)
+	}
+	return false
+}
+
+// epochStep is the sharded engine's window runner, replacing serial
+// fastForward where Run would call it. One invocation opens a window
+// bounded only by the outside (non-component) tickers' wake hints, the
+// Check cadence, and MaxCycles — and runs the machine through it:
+// visiting exactly the cycles a serial engine would visit (each visit
+// is a full stepSharded, fanning component units across the pool),
+// jumping over the gaps with identical CycleSkipper/trace accounting,
+// and delivering completion-mailbox callbacks at their due cycles in
+// (cycle, seq) order. Because completions are delivered *inside* the
+// window rather than bounding it, the event rate no longer caps the
+// window width; only genuine cross-component effects do.
+//
+// Within the window it also attempts bulk sub-advances of the bulk
+// component (AdvanceShards over a lookahead-bounded span) whenever the
+// bulk component is the only thing with work before the next bound —
+// the PR6 epoch-batching path, preserved unchanged.
+//
+// Correctness leans on the same contracts as serial fastForward:
+// outside tickers' wake hints are absolute while their state is
+// untouched, so they are rescanned only after a visit that fired
+// events (the only way in-window activity can reach them). On any
+// decline — an outside or component hinter returning !ok or an
+// outside wake within one cycle — the runner returns and Run falls
+// back to plain per-cycle stepping, exactly like the serial scan.
+func (e *Engine) epochStep(nextCheck Cycle, done func() bool) (end bool, at Cycle, err error) {
+	e.inWindow = true
+	defer func() { e.inWindow = false }()
+	otherMin := NeverWake
+	for _, i := range e.outside {
+		w, ok := e.hinters[i].NextWake(e.now)
 		if !ok || w <= e.now+1 {
 			return false, 0, nil
 		}
@@ -195,79 +270,198 @@ func (e *Engine) epochStep(nextCheck Cycle, done func() bool) (end bool, at Cycl
 			otherMin = w
 		}
 	}
-	sw, swOK := e.sharded.NextWake(e.now)
-	if !swOK {
-		return false, 0, nil // declines hinting: no jump, as in fastForward
-	}
-	// S: the earliest cycle anything other than the sharded ticker can
-	// act -- the serial bound every epoch must respect.
-	s := otherMin
-	if e.events.len() > 0 && e.events.items[0].at < s {
-		s = e.events.items[0].at
-	}
-	// Epoch attempt. The termination check after the window relies on
-	// the non-sharded world being constant over it; if nothing was busy
-	// and no event is pending, the serial engine could stop mid-window,
-	// so in that state the epoch (not the jump) is forfeited. Note that
-	// sw <= now+1 does NOT forfeit the epoch -- batching starts exactly
-	// when the sharded component is about to act.
-	if (e.lastOtherBusy || e.events.len() > 0) && sw < s {
-		t := s
-		if la := e.sharded.EffectLookahead(e.now); la < t {
-			t = la
+	opened := false
+	for {
+		// exitB bounds the visits this invocation may perform: beyond it
+		// an outside ticker could act, a Check must fire (at its exact
+		// serial visit), or the cycle limit error is due — all of which
+		// Run handles.
+		exitB := otherMin
+		if e.Check != nil && nextCheck < exitB {
+			exitB = nextCheck
 		}
-		if e.Check != nil && nextCheck < t {
-			t = nextCheck // a check must fire at its exact serial cycle
+		if e.MaxCycles != 0 && e.MaxCycles < exitB {
+			exitB = e.MaxCycles
 		}
-		if e.MaxCycles != 0 && e.MaxCycles < t {
-			t = e.MaxCycles // the limit error must fire at MaxCycles itself
+		// headMin: the earliest due callback over both heap lanes.
+		// wakeMin: the earliest component wake. sOther folds otherMin
+		// and headMin with the non-bulk component wakes — the serial
+		// bound a bulk sub-advance must respect (nothing except the
+		// bulk component acts before it).
+		headMin := NeverWake
+		if e.events.len() > 0 {
+			headMin = e.events.items[0].at
 		}
-		if t > e.now+1 && sw < t {
-			if end, at, err, advanced := e.epochAdvance(t, otherMin, done); advanced {
-				return end, at, err
+		if e.comps.len() > 0 && e.comps.items[0].at < headMin {
+			headMin = e.comps.items[0].at
+		}
+		wakeMin := NeverWake
+		sOther := headMin
+		if otherMin < sOther {
+			sOther = otherMin
+		}
+		for ci := len(e.epochComps) - 1; ci >= 0; ci-- {
+			if ci == e.bulkIdx {
+				continue
 			}
-			// The advance produced no actions (the wake hint was
-			// conservative): the sharded state is unchanged, so fall
-			// back to the plain scan-and-jump below.
+			w, ok := e.epochComps[ci].c.NextWake(e.now)
+			if !ok {
+				return false, 0, nil // declines hinting: per-cycle stepping
+			}
+			if w < wakeMin {
+				wakeMin = w
+			}
+			if w < sOther {
+				sOther = w
+			}
+			if w <= e.now+1 {
+				break // next cycle is a visit; no jump and no bulk span
+			}
 		}
-	}
-	// No epoch: finish what fastForward would have done, reusing the
-	// hints from the single scan above. sw > now+1 was not required for
-	// the epoch attempt but is required here, exactly as in the serial
-	// scan.
-	if sw <= e.now+1 {
-		return false, 0, nil
-	}
-	target := s
-	if sw < target {
-		target = sw
-	}
-	if target == NeverWake {
-		return false, 0, nil // quiesce or deadlock: Run's busy logic decides
-	}
-	if e.MaxCycles != 0 && target > e.MaxCycles {
-		target = e.MaxCycles
-		if target <= e.now+1 {
+		if e.bulkIdx >= 0 && wakeMin > e.now+1 {
+			bc := &e.epochComps[e.bulkIdx]
+			sw, swOK := bc.bulk.NextWake(e.now)
+			if !swOK {
+				return false, 0, nil
+			}
+			// Bulk sub-advance attempt: the termination check after the
+			// span relies on the rest of the machine being constant over
+			// it; if nothing else was busy and no callback is pending,
+			// the serial engine could stop mid-span, so in that state the
+			// bulk path (not the window) is forfeited. sw <= now+1 does
+			// NOT forfeit it — batching starts exactly when the bulk
+			// component is about to act.
+			busyElse := e.lastOtherBusy || e.otherCompBusy(e.bulkIdx) ||
+				e.events.len() > 0 || e.comps.len() > 0
+			if busyElse && sw < sOther {
+				t := sOther
+				if la := bc.bulk.EffectLookahead(e.now); la < t {
+					t = la
+				}
+				if e.Check != nil && nextCheck < t {
+					t = nextCheck // a check must fire at its exact serial cycle
+				}
+				if e.MaxCycles != 0 && e.MaxCycles < t {
+					t = e.MaxCycles // the limit error must fire at MaxCycles itself
+				}
+				if t > e.now+1 && sw < t {
+					if advanced, stillBusy := e.bulkAdvance(e.bulkIdx, t); advanced {
+						if !opened {
+							opened = true
+							e.epochs++
+						}
+						if !stillBusy && !e.lastOtherBusy && !e.otherCompBusy(e.bulkIdx) &&
+							e.events.len() == 0 && e.comps.len() == 0 {
+							// The system quiesced at the span's last acted
+							// cycle, where a serial Step would have returned
+							// busy=false: reproduce Run's exit exactly.
+							// done() cannot have become true inside the span
+							// (only the bulk component acted), so a
+							// completion predicate means deadlock, as in Run.
+							if done == nil || done() {
+								return true, e.now, nil
+							}
+							return true, e.now, fmt.Errorf("sim: deadlock at cycle %d (no component busy, done()==false)", e.now)
+						}
+						continue // rescan from the span's landing cycle
+					}
+					// No unit acted (the wake hint was conservative): the
+					// bulk state is unchanged; fall through to the plain
+					// jump/visit below, exactly as the serial scan would.
+				}
+			}
+			if sw < wakeMin {
+				wakeMin = sw
+			}
+		} else if e.bulkIdx >= 0 {
+			sw, swOK := e.epochComps[e.bulkIdx].bulk.NextWake(e.now)
+			if !swOK {
+				return false, 0, nil
+			}
+			if sw < wakeMin {
+				wakeMin = sw
+			}
+		}
+		// Jump exactly as a serial fastForward at this position would:
+		// only when every wake hint (component and outside) is beyond
+		// the next cycle, to the earliest of the heap heads and the
+		// wakes — including the serial engine's zero-length jump when a
+		// heap head is due on the very next cycle, so the jump counters
+		// (and the ff_skip probe) stay byte-identical.
+		if wakeMin > e.now+1 {
+			target := headMin
+			if wakeMin < target {
+				target = wakeMin
+			}
+			if otherMin < target {
+				target = otherMin
+			}
+			if target != NeverWake {
+				if e.MaxCycles != 0 && target > e.MaxCycles {
+					target = e.MaxCycles
+					if target <= e.now+1 {
+						target = 0 // the serial scan declines this jump
+					}
+				}
+				if target > e.now {
+					e.jumpTo(target)
+				}
+			}
+		}
+		if e.now+1 >= exitB {
+			// The next cycle belongs to Run: an outside ticker may act, a
+			// Check is due, or the cycle limit fires — all after Run's own
+			// step, exactly as in a serial run.
 			return false, 0, nil
 		}
+		busy, fired := e.stepShardedFired()
+		if !opened {
+			opened = true
+			e.epochs++
+		}
+		e.epochActed++
+		if done != nil && done() {
+			return true, e.now, nil
+		}
+		if !busy {
+			if done == nil {
+				return true, e.now, nil
+			}
+			return true, e.now, fmt.Errorf("sim: deadlock at cycle %d (no component busy, done()==false)", e.now)
+		}
+		if fired && len(e.outside) > 0 {
+			// An event callback may have reached an outside ticker and
+			// changed its wake; rescan, bailing to Run's per-cycle
+			// stepping if one can now act immediately (the serial scan's
+			// decline condition).
+			otherMin = NeverWake
+			for _, i := range e.outside {
+				w, ok := e.hinters[i].NextWake(e.now)
+				if !ok || w <= e.now+1 {
+					return false, 0, nil
+				}
+				if w < otherMin {
+					otherMin = w
+				}
+			}
+		}
 	}
-	e.jumpTo(target)
-	return false, 0, nil
 }
 
-// epochAdvance runs one batched shard advance over (e.now, t-1] and
-// replays its externally visible accounting. advanced=false reports
-// that no unit acted (nothing changed, the mailbox is empty); when
-// advanced, end/at/err carry Run's return values if the system
-// quiesced inside the window.
-func (e *Engine) epochAdvance(t, otherMin Cycle, done func() bool) (end bool, at Cycle, err error, advanced bool) {
+// bulkAdvance runs one batched advance of the bulk component over
+// (e.now, t-1] and replays its externally visible accounting — the
+// PR6 epoch advance, generalized to the component registry.
+// advanced=false reports that no unit acted (nothing changed, the
+// mailbox is empty).
+func (e *Engine) bulkAdvance(ci int, t Cycle) (advanced, stillBusy bool) {
+	ec := &e.epochComps[ci]
 	ep := &e.epoch
 	ep.reset(e, e.now)
-	stillBusy := e.sharded.AdvanceShards(e.now, t-1, e.pool, ep)
+	stillBusy = ec.bulk.AdvanceShards(e.now, t-1, e.pool, ep)
 	if len(ep.acted) == 0 {
-		return false, 0, nil, false
+		return false, stillBusy
 	}
-	// Reconstruct the serial stepping of the window: the serial engine
+	// Reconstruct the serial stepping of the span: the serial engine
 	// visits exactly the acted cycles, jumping over every gap. Replay
 	// the jump accounting (and the trace interleaving of command events
 	// with EvFastForward) so FastForwarded() and an attached sink see a
@@ -296,61 +490,15 @@ func (e *Engine) epochAdvance(t, otherMin Cycle, done func() bool) (end bool, at
 	}
 	vk := prev // globally last acted cycle; the engine lands here
 	for i, sk := range e.skippers {
-		if sk != nil && i != e.shardedIdx {
-			// The non-sharded tickers were quiescent over (from, vk]:
-			// account those cycles exactly as a fast-forward jump would
-			// (vk itself was not ticked either, hence the +1 bound).
+		if sk != nil && (i < ec.first || i >= ec.first+ec.n) {
+			// Everything outside the bulk component was quiescent over
+			// (from, vk]: account those cycles exactly as a fast-forward
+			// jump would (vk itself was not ticked either, hence the +1).
 			sk.SkipCycles(from, vk+1)
 		}
 	}
 	e.now = vk
-	if !stillBusy && !e.lastOtherBusy && e.events.len() == 0 {
-		// The system quiesced at vk, where a serial run's Step would
-		// have returned busy=false: reproduce Run's exit at that exact
-		// cycle. done() cannot have become true inside the window (only
-		// the sharded ticker acted), so a completion predicate means
-		// deadlock, as in Run.
-		if done == nil {
-			return true, e.now, nil, true
-		}
-		if done() {
-			return true, e.now, nil, true
-		}
-		return true, e.now, fmt.Errorf("sim: deadlock at cycle %d (no component busy, done()==false)", e.now), true
-	}
-	// Jump out of the window the way a serial fastForward at vk would,
-	// but without re-querying the hinters that provably did not move:
-	// only the sharded component acted inside the window, so every
-	// non-sharded wake target computed at the epoch start -- an absolute
-	// cycle at or beyond t > vk -- is still exact, and otherMin is still
-	// their minimum. Serial equivalence of the no-jump cases: a serial
-	// scan at vk aborts iff some hinter's wake w <= vk+1; since every
-	// w >= otherMin >= t >= vk+1, that happens iff otherMin == vk+1.
-	// Only the sharded hint and the event head (which gained the
-	// window's completions) need a fresh look.
-	if otherMin <= e.now+1 {
-		return false, 0, nil, true
-	}
-	sw, swOK := e.sharded.NextWake(e.now)
-	if !swOK || sw <= e.now+1 {
-		return false, 0, nil, true
-	}
-	target := otherMin
-	if e.events.len() > 0 && e.events.items[0].at < target {
-		target = e.events.items[0].at
-	}
-	if sw < target {
-		target = sw
-	}
-	if target == NeverWake {
-		return false, 0, nil, true
-	}
-	if e.MaxCycles != 0 && target > e.MaxCycles {
-		target = e.MaxCycles
-		if target <= e.now+1 {
-			return false, 0, nil, true
-		}
-	}
-	e.jumpTo(target)
-	return false, 0, nil, true
+	e.lastCompBusy[ci] = stillBusy
+	e.epochActed += uint64(len(ep.acted))
+	return true, stillBusy
 }

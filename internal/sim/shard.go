@@ -33,6 +33,108 @@ type Parallel interface {
 	Run(n int, f func(unit int))
 }
 
+// EpochComponent is a Ticker the sharded scheduler drives as one unit:
+// at each visited cycle the engine calls TickSharded once in place of
+// the member tickers' individual Tick calls, and between visits it
+// trusts NextWake to bound when the component can next act.
+//
+// Contract, on top of Ticker/WakeHinter:
+//
+//   - TickSharded(now, p) must be observably identical to ticking the
+//     bound member tickers in registration order: same state
+//     transitions, same statistics, same scheduled events in the same
+//     order, same trace events in the same order. It may use p to
+//     advance units concurrently, provided all externally visible
+//     effects are applied serially in fixed unit order afterwards.
+//   - ShardUnits reports the independently advanceable unit count
+//     (diagnostics and partitioning); constant over the component's
+//     life.
+//   - While hinting, the busy report must be a pure function of the
+//     component's state, so the engine can reuse the busy captured at
+//     the last real step across window gaps.
+//
+// A registered ticker implementing EpochComponent is bound
+// automatically as its own single-member component; multi-ticker
+// components are declared with Engine.BindEpoch.
+type EpochComponent interface {
+	Ticker
+	WakeHinter
+	ShardUnits() int
+	TickSharded(now Cycle, p Parallel) bool
+}
+
+// epochComp is one entry of the engine's component registry: the
+// component and the contiguous span [first, first+n) of registered
+// tickers it covers. bulk is non-nil when the component additionally
+// supports bulk window advances (ShardedTicker).
+type epochComp struct {
+	c     EpochComponent
+	first int
+	n     int
+	bulk  ShardedTicker
+}
+
+// TickerGroup bundles registered tickers into one EpochComponent that
+// simply ticks them in order — no fan-out, no deferral. It exists for
+// spans of cheap, tightly coupled tickers (the cache hierarchy) that
+// must live inside epoch windows (their wake hints are often now+1, so
+// leaving them outside would keep every window shut) but are not worth
+// parallelizing themselves.
+type TickerGroup struct {
+	members []Ticker
+	hinters []WakeHinter
+}
+
+// NewTickerGroup builds a group over members; every member must
+// implement WakeHinter (the group's own hint is their minimum).
+func NewTickerGroup(members ...Ticker) *TickerGroup {
+	g := &TickerGroup{members: members}
+	for _, m := range members {
+		h, ok := m.(WakeHinter)
+		if !ok {
+			panic("sim: TickerGroup member does not implement WakeHinter")
+		}
+		g.hinters = append(g.hinters, h)
+	}
+	return g
+}
+
+// Tick ticks every member in order.
+func (g *TickerGroup) Tick(now Cycle) bool {
+	busy := false
+	for _, m := range g.members {
+		if m.Tick(now) {
+			busy = true
+		}
+	}
+	return busy
+}
+
+// TickSharded implements EpochComponent; the group always ticks
+// inline.
+func (g *TickerGroup) TickSharded(now Cycle, p Parallel) bool { return g.Tick(now) }
+
+// ShardUnits implements EpochComponent.
+func (g *TickerGroup) ShardUnits() int { return len(g.members) }
+
+// NextWake implements WakeHinter: the earliest member wake.
+func (g *TickerGroup) NextWake(now Cycle) (Cycle, bool) {
+	min := NeverWake
+	for _, h := range g.hinters {
+		w, ok := h.NextWake(now)
+		if !ok {
+			return 0, false
+		}
+		if w < min {
+			min = w
+			if min <= now+1 {
+				return min, true
+			}
+		}
+	}
+	return min, true
+}
+
 // ShardedTicker is the optional Ticker extension for a component that
 // can advance internal shard units concurrently between barriers.
 // The engine drives it instead of plain Tick when shards are enabled

@@ -380,6 +380,36 @@ func TestShardedEngineMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestCompletionOnEpochBarrierCycle pins the collision case the
+// mailbox-completion path has to get right: completions whose due
+// cycle lands exactly on an epoch barrier. With evPeriod=1 every
+// action schedules a completion at act+lookahead, and the schedules
+// below share a common stride equal to the lookahead, so completions
+// constantly fall on another unit's wake cycle — the cycle that bounds
+// the next epoch window and becomes the zero-skip jump target. The
+// two-lane heap merge by (at, seq) must still replay the serial
+// interleaving byte-for-byte: the completion fires on the barrier
+// cycle itself, before that cycle's ticks are fanned out.
+func TestCompletionOnEpochBarrierCycle(t *testing.T) {
+	const la = Cycle(7)
+	aligned := func(mults ...uint64) []Cycle {
+		out := make([]Cycle, len(mults))
+		for i, m := range mults {
+			out[i] = Cycle(m) * la
+		}
+		return out
+	}
+	schedules := [][]Cycle{
+		aligned(1, 2, 3, 4, 6, 9),
+		aligned(2, 4, 6, 8, 10), // wakes coincide with unit 0's completions
+		aligned(3, 5, 10, 13),
+	}
+	serial := runSynthEv(t, schedules, la, 0, 1)
+	for _, shards := range []int{1, 2, 3, 8} {
+		checkSynthEquivalent(t, serial, runSynthEv(t, schedules, la, shards, 1), shards)
+	}
+}
+
 // TestSetShardsWithoutShardedTicker pins that a pool without any
 // ShardedTicker registered falls back to the plain serial step loop.
 func TestSetShardsWithoutShardedTicker(t *testing.T) {
@@ -406,16 +436,21 @@ func TestSetShardsWithoutShardedTicker(t *testing.T) {
 // window exceeds the component's effect lookahead, and the accounted
 // cycle totals and all results are byte-identical to the serial engine.
 func FuzzShardSchedule(f *testing.F) {
-	f.Add(uint8(4), uint8(2), int64(1), uint8(30), uint16(20))
-	f.Add(uint8(1), uint8(8), int64(7), uint8(5), uint16(1))
-	f.Add(uint8(12), uint8(3), int64(99), uint8(80), uint16(900))
-	f.Fuzz(func(t *testing.T, units, lanes uint8, seed int64, acts uint8, lookahead uint16) {
+	f.Add(uint8(4), uint8(2), int64(1), uint8(30), uint16(20), uint8(3))
+	f.Add(uint8(1), uint8(8), int64(7), uint8(5), uint16(1), uint8(3))
+	f.Add(uint8(12), uint8(3), int64(99), uint8(80), uint16(900), uint8(3))
+	// Completion-on-barrier seed: period 1 (every action schedules a
+	// completion) with a tiny lookahead, so due cycles constantly land
+	// on the wake cycles that bound epoch windows.
+	f.Add(uint8(6), uint8(4), int64(42), uint8(64), uint16(2), uint8(1))
+	f.Fuzz(func(t *testing.T, units, lanes uint8, seed int64, acts uint8, lookahead uint16, evPeriod uint8) {
 		nu := 1 + int(units)%16
 		nl := 1 + int(lanes)%8
 		na := 1 + int(acts)%120
 		la := Cycle(1 + uint64(lookahead)%5000)
+		ep := 1 + uint64(evPeriod)%8
 		schedules := synthSchedules(nu, na, seed)
-		serial := runSynth(t, schedules, la, 0)
-		checkSynthEquivalent(t, serial, runSynth(t, schedules, la, nl), nl)
+		serial := runSynthEv(t, schedules, la, 0, ep)
+		checkSynthEquivalent(t, serial, runSynthEv(t, schedules, la, nl, ep), nl)
 	})
 }
