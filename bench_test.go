@@ -10,7 +10,7 @@
 //	go test -bench=. -benchmem
 //
 // The experiment drivers fan independent runs out over a worker pool
-// (one worker per CPU by default; exp.SetParallelism overrides), so
+// (one worker per CPU by default; exp.Runner.Workers overrides), so
 // wall-clock time shrinks with host core count while the emitted rows
 // stay byte-identical to a serial run. Scales are chosen so the whole
 // suite completes in tens of minutes; EXPERIMENTS.md records the
@@ -47,7 +47,7 @@ var (
 func mainEval(b *testing.B) []exp.MainRow {
 	b.Helper()
 	mainRowsOnce.Do(func() {
-		mainRows, mainRowsErr = exp.MainEvaluation(mainScale, nil, true)
+		mainRows, mainRowsErr = exp.Runner{}.MainEvaluation(mainScale, nil, true)
 	})
 	if mainRowsErr != nil {
 		b.Fatal(mainRowsErr)
@@ -57,7 +57,7 @@ func mainEval(b *testing.B) []exp.MainRow {
 
 func BenchmarkFig8aAllHit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := exp.Fig8aAllHit(2)
+		s, err := exp.Runner{}.Fig8aAllHit(2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +67,7 @@ func BenchmarkFig8aAllHit(b *testing.B) {
 
 func BenchmarkFig8bcAllMiss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := exp.Fig8bcAllMiss()
+		s, err := exp.Runner{}.Fig8bcAllMiss()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +140,7 @@ var sweepSet = []string{"IS", "GZZ", "PR", "GZZI", "XRAGE", "PRH"}
 
 func BenchmarkFig13TileSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := exp.Fig13TileSize(sweepScale, sweepSet)
+		s, err := exp.Runner{}.Fig13TileSize(sweepScale, sweepSet)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +150,7 @@ func BenchmarkFig13TileSize(b *testing.B) {
 
 func BenchmarkFig14Scalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := exp.Fig14Scalability(sweepScale/2, sweepSet)
+		s, err := exp.Runner{}.Fig14Scalability(sweepScale/2, sweepSet)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func BenchmarkTable4AreaPower(b *testing.B) {
 
 func BenchmarkEnergyEstimate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.MainEvaluation(2, sweepSet, false)
+		rows, err := exp.Runner{}.MainEvaluation(2, sweepSet, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,7 +224,7 @@ func BenchmarkFigureRun(b *testing.B) {
 
 func BenchmarkAblationReorder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := exp.AblationReorder(sweepScale, nil)
+		s, err := exp.Runner{}.AblationReorder(sweepScale, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -87,6 +87,7 @@ var benchPackages = []struct {
 	{"BenchmarkSchedulePop|BenchmarkEngineStep|BenchmarkShardedEpochAdvance", "./internal/sim", nil},
 	{"BenchmarkDRAMTick", "./internal/dram", nil},
 	{"BenchmarkShardedRun/XRAGE-large16", "./internal/exp", []string{"-benchtime=1x", "-timeout=30m"}},
+	{"BenchmarkSampledRun", "./internal/exp", []string{"-benchtime=1x", "-timeout=30m"}},
 }
 
 // subNanosecond is the noise floor below which comparisons are

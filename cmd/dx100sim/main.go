@@ -52,13 +52,16 @@ func main() {
 		profWin  = flag.Int64("profile-window", 0, "with -run, sample a telemetry timeline every N cycles and attribute core cycles to stall causes (0 = off)")
 		timeline = flag.String("timeline", "", "with -run, write the sampled timeline and stall breakdown to this JSON file (implies profiling at the default window)")
 		noFF     = flag.Bool("noff", false, "disable idle-cycle fast-forward (exact stepping; results are identical)")
+		sampleI  = flag.Int("sample-interval", 0, "with -run, enable SMARTS interval sampling: functionally fast-forward this many instructions per core between detailed windows (0 = full detail)")
+		sampleD  = flag.Int64("sample-detail", 0, "with -sample-interval, measured cycles per detailed window (0 = 20k)")
+		sampleW  = flag.Int64("sample-warmup", 0, "with -sample-interval, unmeasured detailed warm-up cycles before each window's measurement")
+		ckptTo   = flag.String("checkpoint", "", "with -run, write a post-warm-up checkpoint to this file")
+		restore  = flag.String("restore", "", "with -run, restore the post-warm-up state from this checkpoint file instead of re-simulating the warm-up")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	exp.SetParallelism(*jobs)
-	exp.SetNoFastForward(*noFF)
-	exp.SetShards(*shards)
+	runner := exp.Runner{Workers: *jobs, NoFastForward: *noFF, Shards: *shards}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -95,10 +98,12 @@ func main() {
 			verbose: *verbose, asJSON: *asJSON,
 			trace: *trace, metrics: *metrics,
 			profileWindow: *profWin, timeline: *timeline,
-			shards: *shards,
+			shards: *shards, noFF: *noFF,
+			sampleInterval: *sampleI, sampleDetail: *sampleD, sampleWarmup: *sampleW,
+			checkpointTo: *ckptTo, restoreFrom: *restore,
 		})
 	case *fig != "":
-		runFigure(*fig, *scale, subset(*names))
+		runFigure(runner, *fig, *scale, subset(*names))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -153,6 +158,12 @@ type runFlags struct {
 	profileWindow   int64
 	timeline        string
 	shards          int
+	noFF            bool
+	sampleInterval  int
+	sampleDetail    int64
+	sampleWarmup    int64
+	checkpointTo    string
+	restoreFrom     string
 }
 
 func runOne(name, modeStr string, scale int, f runFlags) {
@@ -180,7 +191,18 @@ func runOne(name, modeStr string, scale int, f runFlags) {
 		opts.ProfileWindow = prof.DefaultWindow
 	}
 	opts.Shards = f.shards
-	res, err := exp.RunOpts(name, scale, exp.Default(m), opts)
+	if f.sampleInterval > 0 {
+		opts.Sampling = &exp.SamplingConfig{
+			Interval: f.sampleInterval,
+			Detail:   sim.Cycle(f.sampleDetail),
+			Warmup:   sim.Cycle(f.sampleWarmup),
+		}
+	}
+	opts.CheckpointTo = f.checkpointTo
+	opts.RestoreFrom = f.restoreFrom
+	cfg := exp.Default(m)
+	cfg.NoFastForward = cfg.NoFastForward || f.noFF
+	res, err := exp.RunOpts(name, scale, cfg, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -273,14 +295,14 @@ func writeMetrics(path string, res exp.Result) error {
 	return err
 }
 
-func runFigure(fig string, scale int, names []string) {
+func runFigure(r exp.Runner, fig string, scale int, names []string) {
 	switch fig {
 	case "8a":
-		show(exp.Fig8aAllHit(scale))
+		show(r.Fig8aAllHit(scale))
 	case "8bc":
-		show(exp.Fig8bcAllMiss())
+		show(r.Fig8bcAllMiss())
 	case "9", "10", "11", "12":
-		rows, err := exp.MainEvaluation(scale, names, fig == "12")
+		rows, err := r.MainEvaluation(scale, names, fig == "12")
 		if err != nil {
 			fatal(err)
 		}
@@ -295,21 +317,21 @@ func runFigure(fig string, scale int, names []string) {
 			fmt.Println(exp.Fig12(rows))
 		}
 	case "energy":
-		rows, err := exp.MainEvaluation(scale, names, false)
+		rows, err := r.MainEvaluation(scale, names, false)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(exp.EnergyTable(rows))
 	case "13":
-		show(exp.Fig13TileSize(scale, names))
+		show(r.Fig13TileSize(scale, names))
 	case "14":
-		show(exp.Fig14Scalability(scale, names))
+		show(r.Fig14Scalability(scale, names))
 	case "ablation":
-		show(exp.AblationReorder(scale, names))
+		show(r.AblationReorder(scale, names))
 	case "all":
-		show(exp.Fig8aAllHit(scale))
-		show(exp.Fig8bcAllMiss())
-		rows, err := exp.MainEvaluation(scale, names, true)
+		show(r.Fig8aAllHit(scale))
+		show(r.Fig8bcAllMiss())
+		rows, err := r.MainEvaluation(scale, names, true)
 		if err != nil {
 			fatal(err)
 		}
@@ -317,9 +339,9 @@ func runFigure(fig string, scale int, names []string) {
 		fmt.Println(exp.Fig10(rows))
 		fmt.Println(exp.Fig11(rows))
 		fmt.Println(exp.Fig12(rows))
-		show(exp.Fig13TileSize(scale/2+1, names))
-		show(exp.Fig14Scalability(scale/2+1, names))
-		show(exp.AblationReorder(scale, names))
+		show(r.Fig13TileSize(scale/2+1, names))
+		show(r.Fig14Scalability(scale/2+1, names))
+		show(r.AblationReorder(scale, names))
 		printTable4()
 	default:
 		fatal(fmt.Errorf("unknown figure %q", fig))

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"dx100/internal/exp"
 	"dx100/internal/obs/prof"
 )
 
@@ -74,5 +75,5 @@ func TestRunOneJSON(t *testing.T) {
 
 // TestRunFigure covers the figure dispatcher on a fast subset.
 func TestRunFigure(t *testing.T) {
-	runFigure("9", 1, []string{"micro.gather"})
+	runFigure(exp.Runner{}, "9", 1, []string{"micro.gather"})
 }

@@ -110,6 +110,12 @@ type Core struct {
 
 	finished bool
 
+	// paused stops fetch (see Pause): the in-flight window keeps
+	// draining but no new ops enter, which is how the sampler brings
+	// the core to an architecturally clean point between detailed
+	// measurement windows.
+	paused bool
+
 	// Cycle attribution (simprof). account is nil unless a profiler is
 	// attached; the bookkeeping below is maintained unconditionally
 	// because it is a handful of integer/bool writes that never feed
@@ -358,7 +364,7 @@ func (c *Core) NextWake(now sim.Cycle) (sim.Cycle, bool) {
 		return now + 1, true
 	}
 	// Fetch can pull (or discover the end of) the stream.
-	if c.stream != nil && !c.streamDone && c.tail-c.head < uint64(len(c.ring)) {
+	if c.stream != nil && !c.streamDone && !c.paused && c.tail-c.head < uint64(len(c.ring)) {
 		if !c.hasPending || c.robUsed+c.pending.weight() <= c.cfg.ROB {
 			return now + 1, true
 		}
@@ -445,7 +451,7 @@ func (c *Core) retire() {
 
 // fetch pulls new µops into the window, resolving their dependences.
 func (c *Core) fetch() {
-	if c.streamDone || c.stream == nil {
+	if c.streamDone || c.stream == nil || c.paused {
 		return
 	}
 	budget := c.cfg.Width

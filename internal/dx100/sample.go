@@ -1,0 +1,71 @@
+package dx100
+
+import (
+	"fmt"
+
+	"dx100/internal/cache"
+	"dx100/internal/memspace"
+)
+
+// Sampled-simulation support. During a functional fast-forward phase
+// the engine does not run, so instructions a core sends through the
+// memory-mapped queue never dispatch on their own; FunctionalDrain
+// executes them with the same verified functional machine the timed
+// dispatch path uses, releasing tile ready bits so core-side barriers
+// can proceed. Timing state — units, Row Tables, request buffers —
+// is untouched: functional phases by construction start and end with
+// the accelerator idle.
+
+// FunctionalDrain executes every queued instruction functionally and
+// retires it, with no cycles simulated. The execution units must be
+// idle (they are whenever the engine is quiescent): a queued
+// instruction's operand snapshot was taken at send time, so draining
+// in queue order preserves the exact architectural outcome the timed
+// model would produce. It returns the number of instructions drained.
+func (a *Accel) FunctionalDrain() int {
+	for _, u := range a.units {
+		if u != nil {
+			panic("dx100: FunctionalDrain with an execution unit busy")
+		}
+	}
+	if len(a.indQ) > 0 {
+		panic("dx100: FunctionalDrain with staged indirect instructions")
+	}
+	drained := 0
+	for a.qHead < len(a.queue) {
+		fl := a.queue[a.qHead]
+		a.queue[a.qHead] = nil
+		a.qHead++
+		ins := fl.ins
+		a.m.SetReg(ins.RS1, fl.regs[0])
+		a.m.SetReg(ins.RS2, fl.regs[1])
+		a.m.SetReg(ins.RS3, fl.regs[2])
+		if err := a.m.Exec(ins); err != nil {
+			panic(fmt.Sprintf("dx100: functional execution of drained instruction failed: %v", err))
+		}
+		dests, nd, srcs, ns := operandTiles(ins)
+		for _, t := range dests[:nd] {
+			a.tileRefs[t]--
+		}
+		for _, t := range srcs[:ns] {
+			a.tileRefs[t]--
+		}
+		a.retired++
+		a.stats.Inc(a.prefix + "dispatch." + ins.Op.String())
+		a.stats.Inc(a.prefix + "retire." + ins.Op.String())
+		drained++
+	}
+	a.queue = a.queue[:0]
+	a.qHead = 0
+	return drained
+}
+
+// Touch implements cache.Toucher for the router: scratchpad accesses
+// have no cache state to warm (the SPD port is a fixed-latency
+// pipeline), everything else warms the hierarchy behind it.
+func (r *Router) Touch(addr memspace.PAddr, kind cache.Kind) {
+	if addr >= r.SPDLo && addr < r.SPDHi {
+		return
+	}
+	cache.TouchLevel(r.Default, addr, kind)
+}

@@ -7,7 +7,6 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
-	"sync/atomic"
 
 	"dx100/internal/cpu"
 	"dx100/internal/dram"
@@ -96,20 +95,6 @@ type SystemConfig struct {
 	NoFastForward bool `json:"no_fast_forward"`
 }
 
-// defaultNoFastForward is the package-wide stepping default baked into
-// every config Default produces; see SetNoFastForward.
-var defaultNoFastForward atomic.Bool
-
-// SetNoFastForward sets the fast-forward default for all configs
-// subsequently built by Default.
-//
-// Deprecated: this is a process-wide default kept so the dx100sim
-// -noff flag works unchanged. Concurrent callers (the dx100d service)
-// must not touch it; they set SystemConfig.NoFastForward on their own
-// configs, or Runner.NoFastForward for the figure drivers, which
-// cannot race other requests.
-func SetNoFastForward(off bool) { defaultNoFastForward.Store(off) }
-
 // Default returns the Table 3 system for the given mode: the baseline
 // and DMP get a 10 MB LLC; DX100 gets 8 MB plus the accelerator,
 // keeping the area comparison fair (§6.5).
@@ -124,8 +109,6 @@ func Default(mode Mode) SystemConfig {
 		DMP:       prefetch.DefaultConfig(),
 		Instances: 1,
 		MaxCycles: 2_000_000_000,
-
-		NoFastForward: defaultNoFastForward.Load(),
 	}
 	if mode == DX {
 		cfg.LLCBytes = 8 << 20

@@ -43,12 +43,10 @@ func rowsKey(rows []MainRow) string {
 }
 
 // evalAt runs the tiny-scale main evaluation at the given worker
-// count, restoring the previous setting afterwards.
+// count.
 func evalAt(t *testing.T, jobs int) []MainRow {
 	t.Helper()
-	SetParallelism(jobs)
-	defer SetParallelism(0)
-	rows, err := MainEvaluation(1, detNames, true)
+	rows, err := Runner{Workers: jobs}.MainEvaluation(1, detNames, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +97,7 @@ var goldens = map[string]struct {
 }
 
 func TestGoldenMetrics(t *testing.T) {
-	rows, err := MainEvaluation(1, detNames, false)
+	rows, err := Runner{}.MainEvaluation(1, detNames, false)
 	if err != nil {
 		t.Fatal(err)
 	}

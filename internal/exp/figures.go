@@ -26,13 +26,6 @@ func (r MainRow) Speedup() float64 { return float64(r.Base.Cycles) / float64(r.D
 func (r MainRow) SpeedupVsDMP() float64 { return float64(r.DMP.Cycles) / float64(r.DX.Cycles) }
 
 // MainEvaluation runs the 12 benchmarks on the baseline and DX100
-// systems (and DMP when withDMP is set) under the deprecated
-// package-level defaults; see Runner.MainEvaluation.
-func MainEvaluation(scale int, names []string, withDMP bool) ([]MainRow, error) {
-	return DefaultRunner().MainEvaluation(scale, names, withDMP)
-}
-
-// MainEvaluation runs the 12 benchmarks on the baseline and DX100
 // systems (and DMP when withDMP is set), producing the per-workload
 // rows behind Figures 9-12. The independent runs execute concurrently
 // on the Runner's worker pool; rows come back in workload order
@@ -154,12 +147,6 @@ func Fig12(rows []MainRow) *Series {
 	return s
 }
 
-// Fig8aAllHit runs the five All-Hit microbenchmarks of Figure 8 (a)
-// under the deprecated package-level defaults.
-func Fig8aAllHit(scale int) (*Series, error) {
-	return DefaultRunner().Fig8aAllHit(scale)
-}
-
 // Fig8aAllHit runs the five All-Hit microbenchmarks of Figure 8 (a).
 func (r Runner) Fig8aAllHit(scale int) (*Series, error) {
 	s := &Series{
@@ -209,13 +196,6 @@ func (r Runner) Fig8aAllHit(scale int) (*Series, error) {
 }
 
 // Fig8bcAllMiss runs the All-Miss gather across the six index
-// orderings of Figure 8 (b)/(c) under the deprecated package-level
-// defaults.
-func Fig8bcAllMiss() (*Series, error) {
-	return DefaultRunner().Fig8bcAllMiss()
-}
-
-// Fig8bcAllMiss runs the All-Miss gather across the six index
 // orderings of Figure 8 (b)/(c).
 func (r Runner) Fig8bcAllMiss() (*Series, error) {
 	s := &Series{
@@ -242,12 +222,6 @@ func (r Runner) Fig8bcAllMiss() (*Series, error) {
 	}
 	s.Note("paper: speedup 9.9x (worst ordering) down to 1.7x (best); DX100 BW steady at 82-85%%")
 	return s, nil
-}
-
-// Fig13TileSize sweeps the scratchpad tile size (§6.4) under the
-// deprecated package-level defaults.
-func Fig13TileSize(scale int, names []string) (*Series, error) {
-	return DefaultRunner().Fig13TileSize(scale, names)
 }
 
 // Fig13TileSize sweeps the scratchpad tile size (§6.4). The baseline
@@ -298,12 +272,6 @@ func (r Runner) Fig13TileSize(scale int, names []string) (*Series, error) {
 	return s, nil
 }
 
-// Fig14Scalability runs the 8-core scaling study (§6.6) under the
-// deprecated package-level defaults.
-func Fig14Scalability(scale int, names []string) (*Series, error) {
-	return DefaultRunner().Fig14Scalability(scale, names)
-}
-
 // Fig14Scalability runs the 8-core scaling study (§6.6).
 func (r Runner) Fig14Scalability(scale int, names []string) (*Series, error) {
 	if names == nil {
@@ -352,12 +320,6 @@ func (r Runner) Fig14Scalability(scale int, names []string) (*Series, error) {
 	}
 	s.Note("paper: 2.6x / 2.5x / 2.7x")
 	return s, nil
-}
-
-// AblationReorder quantifies the design choices of DESIGN.md under the
-// deprecated package-level defaults.
-func AblationReorder(scale int, names []string) (*Series, error) {
-	return DefaultRunner().AblationReorder(scale, names)
 }
 
 // AblationReorder quantifies the design choices of DESIGN.md: Row

@@ -13,7 +13,7 @@ import (
 // them at evaluation scale.
 
 func TestFig8aRuns(t *testing.T) {
-	s, err := Fig8aAllHit(1)
+	s, err := Runner{}.Fig8aAllHit(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestFig8aRuns(t *testing.T) {
 func TestFig8aRMWAtomicGapShape(t *testing.T) {
 	// The RMW-Atomic speedup must far exceed RMW-NoAtom: eliminating
 	// fences is DX100's largest microbenchmark win (§6.1).
-	s, err := Fig8aAllHit(1)
+	s, err := Runner{}.Fig8aAllHit(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func fmtSscanf(s string, v *float64) (int, error) {
 }
 
 func TestFig9And10And11Render(t *testing.T) {
-	rows, err := MainEvaluation(1, []string{"IS", "GZZ"}, true)
+	rows, err := Runner{}.MainEvaluation(1, []string{"IS", "GZZ"}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestFig9And10And11Render(t *testing.T) {
 }
 
 func TestFig13TileSizeMonotoneShape(t *testing.T) {
-	s, err := Fig13TileSize(1, []string{"IS"})
+	s, err := Runner{}.Fig13TileSize(1, []string{"IS"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestFig13TileSizeMonotoneShape(t *testing.T) {
 }
 
 func TestFig14ScalabilityRuns(t *testing.T) {
-	s, err := Fig14Scalability(1, []string{"GZZ"})
+	s, err := Runner{}.Fig14Scalability(1, []string{"GZZ"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestFig14ScalabilityRuns(t *testing.T) {
 }
 
 func TestAblationShape(t *testing.T) {
-	s, err := AblationReorder(1, []string{"GZZ"})
+	s, err := Runner{}.AblationReorder(1, []string{"GZZ"})
 	if err != nil {
 		t.Fatal(err)
 	}

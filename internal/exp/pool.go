@@ -21,8 +21,9 @@ import (
 //
 // Execution policy is carried by a Runner value, not package globals,
 // so concurrent callers — two dx100d requests, two tests — cannot race
-// each other's worker counts or stepping modes. The package-level
-// figure functions remain as shims over DefaultRunner for the CLI.
+// each other's worker counts or stepping modes. Callers (the CLI
+// included) construct a Runner with the policy they want; there are no
+// package-level defaults.
 
 // Runner carries per-call execution policy for the experiment drivers.
 // The zero value is ready to use: one worker per CPU, fast-forward on,
@@ -52,17 +53,6 @@ type Runner struct {
 	Shards int
 }
 
-// DefaultRunner snapshots the deprecated package-level defaults set by
-// SetParallelism, SetNoFastForward and SetShards — the policy the
-// package-level figure functions run under.
-func DefaultRunner() Runner {
-	return Runner{
-		Workers:       int(parallelism.Load()),
-		NoFastForward: defaultNoFastForward.Load(),
-		Shards:        int(defaultShards.Load()),
-	}
-}
-
 // Config returns the Table 3 default for the mode with this Runner's
 // stepping policy applied.
 func (r Runner) Config(mode Mode) SystemConfig {
@@ -81,48 +71,6 @@ func (r Runner) workers() int {
 		return r.Workers
 	}
 	return runtime.GOMAXPROCS(0)
-}
-
-// parallelism holds the worker count configured through the deprecated
-// SetParallelism; 0 selects the default, runtime.GOMAXPROCS(0).
-var parallelism atomic.Int32
-
-// SetParallelism sets how many experiment runs may execute
-// concurrently for the package-level figure functions. n <= 0 restores
-// the default (one worker per available CPU).
-//
-// Deprecated: this is a process-wide default kept so the dx100sim
-// -jobs flag works unchanged. Concurrent callers use Runner.Workers,
-// which cannot race other requests.
-func SetParallelism(n int) {
-	if n < 0 {
-		n = 0
-	}
-	parallelism.Store(int32(n))
-}
-
-// Parallelism returns the effective worker count of the deprecated
-// package-level default.
-func Parallelism() int {
-	return Runner{Workers: int(parallelism.Load())}.workers()
-}
-
-// defaultShards holds the lane count configured through SetShards; 0
-// selects the serial engine.
-var defaultShards atomic.Int32
-
-// SetShards sets the sharded-engine lane count the package-level figure
-// functions run with (see RunOptions.Shards; results are byte-identical
-// for every value). n <= 0 restores the serial engine.
-//
-// Deprecated: this is a process-wide default kept so the dx100sim
-// -shards flag reaches the figure drivers. Concurrent callers use
-// Runner.Shards, which cannot race other requests.
-func SetShards(n int) {
-	if n < 0 {
-		n = 0
-	}
-	defaultShards.Store(int32(n))
 }
 
 // forEach runs fn(i) for every i in [0, n) on a bounded worker pool

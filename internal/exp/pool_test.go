@@ -9,11 +9,9 @@ import (
 )
 
 func TestForEachRunsEveryIndexInOrderSlots(t *testing.T) {
-	SetParallelism(8)
-	defer SetParallelism(0)
 	const n = 100
 	out := make([]int, n)
-	err := DefaultRunner().forEach(n, func(i int) error {
+	err := Runner{Workers: 8}.forEach(n, func(i int) error {
 		out[i] = i * i
 		return nil
 	})
@@ -29,11 +27,9 @@ func TestForEachRunsEveryIndexInOrderSlots(t *testing.T) {
 
 func TestForEachBoundsConcurrency(t *testing.T) {
 	const workers = 3
-	SetParallelism(workers)
-	defer SetParallelism(0)
 	var cur, peak atomic.Int32
 	var mu sync.Mutex
-	err := DefaultRunner().forEach(24, func(i int) error {
+	err := Runner{Workers: workers}.forEach(24, func(i int) error {
 		c := cur.Add(1)
 		mu.Lock()
 		if c > peak.Load() {
@@ -52,10 +48,8 @@ func TestForEachBoundsConcurrency(t *testing.T) {
 }
 
 func TestForEachReturnsLowestIndexError(t *testing.T) {
-	SetParallelism(4)
-	defer SetParallelism(0)
 	sentinel := errors.New("boom")
-	err := DefaultRunner().forEach(16, func(i int) error {
+	err := Runner{Workers: 4}.forEach(16, func(i int) error {
 		if i == 5 || i == 11 {
 			return fmt.Errorf("job %d: %w", i, sentinel)
 		}
@@ -67,10 +61,8 @@ func TestForEachReturnsLowestIndexError(t *testing.T) {
 }
 
 func TestForEachSerialFallback(t *testing.T) {
-	SetParallelism(1)
-	defer SetParallelism(0)
 	var order []int
-	err := DefaultRunner().forEach(5, func(i int) error {
+	err := Runner{Workers: 1}.forEach(5, func(i int) error {
 		order = append(order, i)
 		return nil
 	})
@@ -85,18 +77,14 @@ func TestForEachSerialFallback(t *testing.T) {
 }
 
 func TestParallelismDefaultsAndOverride(t *testing.T) {
-	SetParallelism(0)
-	if Parallelism() < 1 {
-		t.Fatalf("default parallelism %d < 1", Parallelism())
+	if w := (Runner{}).workers(); w < 1 {
+		t.Fatalf("default worker count %d < 1", w)
 	}
-	SetParallelism(7)
-	defer SetParallelism(0)
-	if Parallelism() != 7 {
-		t.Fatalf("override ignored: %d", Parallelism())
+	if w := (Runner{Workers: 7}).workers(); w != 7 {
+		t.Fatalf("override ignored: %d", w)
 	}
-	SetParallelism(-3)
-	if Parallelism() < 1 {
-		t.Fatalf("negative override should restore default, got %d", Parallelism())
+	if w := (Runner{Workers: -3}).workers(); w < 1 {
+		t.Fatalf("negative override should restore default, got %d", w)
 	}
 }
 

@@ -14,6 +14,8 @@ import (
 	"dx100/internal/obs"
 	"dx100/internal/obs/prof"
 	"dx100/internal/prefetch"
+	"dx100/internal/sample"
+	"dx100/internal/sample/ckpt"
 	"dx100/internal/sim"
 	"dx100/internal/workloads"
 )
@@ -38,6 +40,12 @@ type Result struct {
 	Timeline *prof.Timeline  `json:"timeline,omitempty"`
 	Stalls   *prof.Breakdown `json:"stall_breakdown,omitempty"`
 	Stats    *sim.Stats      `json:"stats,omitempty"`
+	// Sampling carries the interval sampler's estimates and confidence
+	// intervals when the run was sampled (RunOptions.Sampling). For a
+	// sampled run Cycles holds the *estimated* total (detailed cycles
+	// plus functional instructions over the measured IPC), and the
+	// cumulative DRAM-derived metrics cover the detailed windows only.
+	Sampling *SamplingStats `json:"sampling,omitempty"`
 }
 
 // system is one assembled simulation.
@@ -50,6 +58,7 @@ type system struct {
 	cores  []*cpu.Core
 	arr    *cpu.Array
 	accels []*dx100.Accel
+	dmps   []*prefetch.DMP
 }
 
 // build assembles the system around an already-generated workload
@@ -91,7 +100,6 @@ func build(inst *workloads.Instance, cfg SystemConfig) *system {
 		}
 	}
 	translate := inst.Space.Translate
-	var dmps []*prefetch.DMP
 	for i := 0; i < cfg.Cores; i++ {
 		var front cache.Level = s.hier.L1[i]
 		switch cfg.Mode {
@@ -104,7 +112,7 @@ func build(inst *workloads.Instance, cfg SystemConfig) *system {
 			for _, p := range inst.DMP() {
 				d.Register(p)
 			}
-			dmps = append(dmps, d)
+			s.dmps = append(s.dmps, d)
 			front = d
 		}
 		s.cores = append(s.cores, cpu.NewCore(s.eng, cfg.Core, front, translate, s.stats, fmt.Sprintf("core%d.", i)))
@@ -129,29 +137,32 @@ func build(inst *workloads.Instance, cfg SystemConfig) *system {
 		s.arr.EnableFanout()
 	case DMP:
 		for i := range s.cores {
-			s.arr.AddUnitTargets(i, dmps[i], s.hier.L1[i], s.hier.L2[i])
+			s.arr.AddUnitTargets(i, s.dmps[i], s.hier.L1[i], s.hier.L2[i])
 		}
 		s.arr.EnableFanout()
 	}
 	return s
 }
 
+// allDone reports whether every core has retired its stream and every
+// accelerator has drained — the run-termination predicate.
+func (s *system) allDone() bool {
+	for _, c := range s.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	for _, a := range s.accels {
+		if !a.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
 // run drives the engine until every core has retired its stream.
 func (s *system) run() (sim.Cycle, error) {
-	done := func() bool {
-		for _, c := range s.cores {
-			if !c.Done() {
-				return false
-			}
-		}
-		for _, a := range s.accels {
-			if !a.Idle() {
-				return false
-			}
-		}
-		return true
-	}
-	return s.eng.Run(done)
+	return s.eng.Run(s.allDone)
 }
 
 // collect folds the statistics into a Result.
@@ -254,6 +265,30 @@ type RunOptions struct {
 	// Result wire form — EpochStats (mean epoch window width),
 	// FastForwarded — and must not mutate anything.
 	OnEngineDone func(*sim.Engine)
+	// Sampling, when non-nil, runs the simulation under SMARTS-style
+	// interval sampling: detailed measurement windows alternating with
+	// functional fast-forward phases. The Result's Cycles becomes an
+	// estimate and Result.Sampling carries the per-window confidence
+	// intervals. Sampling changes what is simulated, so — unlike every
+	// other option here — a sampled Result is *not* byte-identical to a
+	// full-detail run; it trades exactness for wall clock.
+	Sampling *SamplingConfig
+	// CheckpointTo, when non-empty, writes a checkpoint of the system
+	// right after warm-up (before any stream attaches) to this file.
+	// The run then proceeds normally.
+	CheckpointTo string
+	// RestoreFrom, when non-empty, restores the post-warm-up system
+	// state from this checkpoint file instead of re-simulating the
+	// warm-up. The workload instance must be built identically (same
+	// name, scale and config) — restore validates the topology and
+	// refuses mismatches.
+	RestoreFrom string
+	// WarmStore, when non-nil, caches post-warm-up checkpoints keyed by
+	// the warm-up spec hash (workload regions + system config): the
+	// first run of a sweep performs the warm-up and deposits a
+	// checkpoint, every later run with the same key restores it. Only
+	// consulted when the config has WarmLLC set.
+	WarmStore *ckpt.Store
 }
 
 // attachTrace hooks every component's emit sites to the sink. A nil
@@ -330,67 +365,22 @@ func (s *system) installCheck(opts RunOptions, p *profiler) {
 	}
 }
 
-// warmJob is one physical range the LLC warm-up streams through.
-type warmJob struct{ lo, hi memspace.PAddr }
-
-// warmTicker drives the §6.1 All-Hit warm-up. It is a named type
-// (not a TickerFunc) implementing WakeHinter because it stays
-// registered for the measured run that follows: an anonymous
-// non-hinting ticker would disable fast-forward for the whole run.
-type warmTicker struct {
-	llc         cache.Level
-	jobs        []warmJob
-	ji          int
-	cur         memspace.PAddr
-	outstanding int
-}
-
-// Tick streams lines through the LLC as fast as it accepts them.
-func (w *warmTicker) Tick(now sim.Cycle) bool {
-	for w.ji < len(w.jobs) {
-		if w.cur >= w.jobs[w.ji].hi {
-			w.ji++
-			if w.ji == len(w.jobs) {
-				break
-			}
-			w.cur = w.jobs[w.ji].lo
-			continue
-		}
-		w.outstanding++
-		if !w.llc.Access(now, w.cur, cache.Load, func(sim.Cycle) { w.outstanding-- }) {
-			w.outstanding--
-			break
-		}
-		w.cur += memspace.LineSize
-	}
-	return w.ji < len(w.jobs) || w.outstanding > 0
-}
-
-// NextWake implements sim.WakeHinter: while lines remain the ticker
-// retries the LLC every cycle; once they are all issued it only waits
-// on fill events, and after the warm-up it is permanently inert.
-func (w *warmTicker) NextWake(now sim.Cycle) (sim.Cycle, bool) {
-	if w.ji < len(w.jobs) {
-		return now + 1, true
-	}
-	return sim.NeverWake, true
-}
-
 // warmLLC touches every line of every allocated region through the
-// LLC, then resets the statistics (§6.1 All-Hit scenario).
+// LLC, then resets the statistics (§6.1 All-Hit scenario). The
+// warm-up is functional — pure tag/LRU installs with no events or
+// cycles — so the engine clock stays at zero and the warmed state is
+// checkpointable immediately (the warm store in checkpoint.go relies
+// on this: a restored warm-up is indistinguishable from a fresh one).
 func (s *system) warmLLC(inst *workloads.Instance) error {
-	var jobs []warmJob
+	var ranges []sample.Range
 	for _, r := range inst.Space.Regions() {
 		if strings.Contains(r.Name, "spd") {
 			continue // the scratchpad region is not cacheable data
 		}
 		lo := inst.Space.Translate(r.Base)
-		jobs = append(jobs, warmJob{lo, lo + memspace.PAddr(r.Size)})
+		ranges = append(ranges, sample.Range{Lo: lo, Hi: lo + memspace.PAddr(r.Size)})
 	}
-	s.eng.Register(&warmTicker{llc: s.hier.LLC, jobs: jobs, cur: jobs[0].lo})
-	if _, err := s.eng.Run(nil); err != nil {
-		return err
-	}
+	sample.Warm(s.hier.LLC, ranges)
 	s.stats.Reset()
 	return nil
 }
@@ -419,10 +409,8 @@ func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions
 	}
 	s.installCheck(opts, p)
 	s.attachTrace(opts.Trace)
-	if cfg.WarmLLC {
-		if err := s.warmLLC(inst); err != nil {
-			return Result{}, fmt.Errorf("exp: warm: %w", err)
-		}
+	if err := s.prepare(inst, opts); err != nil {
+		return Result{}, err
 	}
 	start := s.eng.Now()
 	if p != nil {
@@ -442,7 +430,16 @@ func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions
 			return Result{}, err
 		}
 	}
-	end, err := s.run()
+	var (
+		end sim.Cycle
+		sst *SamplingStats
+		err error
+	)
+	if opts.Sampling != nil {
+		end, sst, err = s.runSampled(*opts.Sampling)
+	} else {
+		end, err = s.run()
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("exp: %s/%s: %w", inst.Name, cfg.Mode, err)
 	}
@@ -452,6 +449,10 @@ func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions
 	res := s.collect(inst.Name, end-start)
 	if p != nil {
 		res.Timeline, res.Stalls = p.finish(end)
+	}
+	if sst != nil {
+		res.Sampling = sst
+		res.Cycles = sst.EstimatedCycles
 	}
 	return res, nil
 }

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"testing"
+
+	"dx100/internal/workloads"
+)
+
+// sampledBenchConfig is the sampling configuration BENCH_engine.json
+// records and cmd/benchdiff gates: an interval sized so roughly a
+// tenth of the run's cycles execute under full detail (measured ~8% on
+// GZZ-base8), which is the classic SMARTS operating point — enough
+// windows (~45) for a tight confidence interval, most of the wall
+// clock skipped.
+var sampledBenchConfig = SamplingConfig{Interval: 10_000, Detail: 8_000, Warmup: 2_000}
+
+// BenchmarkSampledRun times one full-detail run of GZZ at scale 8 on
+// the baseline system against the same run under interval sampling.
+// The full/sampled wall-time ratio is the sampled-run-speedup gate in
+// cmd/benchdiff (≥3x; ~4x measured); TestSampledWithinCI pins that the
+// sampled estimate stays inside its own confidence interval. Workload
+// generation happens off the clock. Run with -benchtime=1x — one
+// iteration is a full deterministic run.
+func BenchmarkSampledRun(b *testing.B) {
+	cfg := Default(Baseline)
+	scfg := sampledBenchConfig
+	for _, c := range []struct {
+		name string
+		opts RunOptions
+	}{
+		{"GZZ-base8/full", RunOptions{}},
+		{"GZZ-base8/sampled", RunOptions{Sampling: &scfg}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			build := workloads.Registry["GZZ"]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				inst := build(8)
+				b.StartTimer()
+				if _, err := RunInstanceOpts(inst, cfg, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

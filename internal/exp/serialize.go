@@ -17,6 +17,11 @@ type Spec struct {
 	Workload string       `json:"workload"`
 	Scale    int          `json:"scale"`
 	Config   SystemConfig `json:"config"`
+	// Sampling, when non-nil, runs the spec under interval sampling
+	// (see RunOptions.Sampling). It is part of the content address —
+	// omitempty keeps every pre-sampling spec hash unchanged, and a
+	// sampled estimate must never be served for a full-detail request.
+	Sampling *SamplingConfig `json:"sampling,omitempty"`
 }
 
 // Canonical returns the canonical encoding of the spec: JSON with
@@ -54,6 +59,9 @@ func (sp Spec) Hash() (string, error) {
 
 // Run executes the spec.
 func (sp Spec) Run(opts RunOptions) (Result, error) {
+	if sp.Sampling != nil && opts.Sampling == nil {
+		opts.Sampling = sp.Sampling
+	}
 	return RunOpts(sp.Workload, sp.Scale, sp.Config, opts)
 }
 

@@ -93,7 +93,7 @@ func TestEpochWindowWidth(t *testing.T) {
 	inst := workloads.Registry["XRAGE"](4)
 	var epochs, acted uint64
 	_, err := RunInstanceOpts(inst, LargeBaseline(), RunOptions{
-		Shards: 4,
+		Shards:       4,
 		OnEngineDone: func(e *sim.Engine) { epochs, acted = e.EpochStats() },
 	})
 	if err != nil {

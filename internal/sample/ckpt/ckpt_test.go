@@ -1,0 +1,259 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden checkpoint files")
+
+// fakeComp is a Checkpointable exercising every primitive.
+type fakeComp struct {
+	a   uint64
+	b   int64
+	c   float64
+	d   bool
+	s   string
+	raw []byte
+
+	saveErr error
+}
+
+func (f *fakeComp) CheckpointSave(w *Writer) error {
+	if f.saveErr != nil {
+		return f.saveErr
+	}
+	w.U64(f.a)
+	w.I64(f.b)
+	w.F64(f.c)
+	w.Bool(f.d)
+	w.String(f.s)
+	w.Bytes64(f.raw)
+	return nil
+}
+
+func (f *fakeComp) CheckpointLoad(r *Reader) error {
+	f.a = r.U64()
+	f.b = r.I64()
+	f.c = r.F64()
+	f.d = r.Bool()
+	f.s = r.String()
+	f.raw = r.Bytes64()
+	return r.Err()
+}
+
+func sampleParts() ([]Part, *fakeComp, *fakeComp) {
+	c1 := &fakeComp{a: 0xdeadbeefcafe, b: -42, c: 3.5, d: true, s: "llc", raw: []byte{1, 2, 3}}
+	c2 := &fakeComp{a: 7, b: 1 << 40, c: -0.25, s: "core0", raw: []byte{}}
+	return []Part{{Name: "one", C: c1}, {Name: "two", C: c2}}, c1, c2
+}
+
+func TestRoundTrip(t *testing.T) {
+	parts, c1, c2 := sampleParts()
+	img, err := Marshal(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got1, got2 fakeComp
+	if err := Unmarshal(img, []Part{{Name: "one", C: &got1}, {Name: "two", C: &got2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got1.a != c1.a || got1.b != c1.b || got1.c != c1.c || got1.d != c1.d || got1.s != c1.s || !bytes.Equal(got1.raw, c1.raw) {
+		t.Errorf("section one: got %+v want %+v", got1, *c1)
+	}
+	if got2.a != c2.a || got2.b != c2.b || got2.s != c2.s {
+		t.Errorf("section two: got %+v want %+v", got2, *c2)
+	}
+	// Determinism: same state marshals to the same bytes.
+	img2, err := Marshal(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, img2) {
+		t.Error("two marshals of identical state differ")
+	}
+}
+
+// TestGolden pins the on-wire encoding against a committed file so
+// accidental format drift (a reordered field, a changed width) fails
+// loudly. Regenerate with -update after an intentional change — and
+// bump Version when the change invalidates old checkpoints.
+func TestGolden(t *testing.T) {
+	parts, _, _ := sampleParts()
+	img, err := Marshal(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(img, want) {
+		t.Fatalf("encoding drifted from golden (%d bytes vs %d); if intentional, bump ckpt.Version and run with -update", len(img), len(want))
+	}
+	// The golden file must also decode with current code.
+	var a, b fakeComp
+	if err := Unmarshal(want, []Part{{Name: "one", C: &a}, {Name: "two", C: &b}}); err != nil {
+		t.Fatalf("golden no longer decodes: %v", err)
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	img := Encode([]Section{{Name: "x", Data: []byte{1}}})
+	// Flip the version field (right after the 4-byte magic) and
+	// re-seal the CRC so only the version is wrong.
+	bad := append([]byte(nil), img...)
+	binary.LittleEndian.PutUint16(bad[4:], Version+1)
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc32.ChecksumIEEE(bad[:len(bad)-4]))
+	if _, err := Decode(bad); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestCorruptionRejected(t *testing.T) {
+	img := Encode([]Section{{Name: "x", Data: []byte{1, 2, 3}}})
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bitflip", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"empty", func([]byte) []byte { return nil }},
+		{"badmagic", func(b []byte) []byte {
+			b[0] = 'Z'
+			binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+			return b
+		}},
+	} {
+		b := append([]byte(nil), img...)
+		if _, err := Decode(tc.mutate(b)); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", tc.name)
+		}
+	}
+}
+
+func TestUnmarshalStrict(t *testing.T) {
+	img, err := Marshal([]Part{{Name: "one", C: &fakeComp{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c fakeComp
+	if err := Unmarshal(img, []Part{{Name: "other", C: &c}}); err == nil {
+		t.Error("name mismatch accepted")
+	}
+	if err := Unmarshal(img, []Part{{Name: "one", C: &c}, {Name: "two", C: &c}}); err == nil {
+		t.Error("section count mismatch accepted")
+	}
+}
+
+func TestMarshalPropagatesSaveError(t *testing.T) {
+	wantErr := errors.New("not quiescent")
+	_, err := Marshal([]Part{{Name: "busy", C: &fakeComp{saveErr: wantErr}}})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want wrapped save error", err)
+	}
+}
+
+func TestReaderSticky(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U64() // truncated
+	if r.Err() == nil {
+		t.Fatal("no error after truncated read")
+	}
+	if got := r.U64(); got != 0 {
+		t.Errorf("read after error returned %d, want 0", got)
+	}
+	if r.Done() == nil {
+		t.Error("Done nil despite sticky error")
+	}
+}
+
+func TestStore(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	img := Encode([]Section{{Name: "s", Data: []byte("payload")}})
+	key := "ab12cd"
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(key, img); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || !bytes.Equal(got, img) {
+		t.Fatal("memory get failed")
+	}
+	// A fresh store over the same dir must read it back from disk —
+	// and refuse junk files.
+	s2 := NewStore(dir)
+	if got, ok := s2.Get(key); !ok || !bytes.Equal(got, img) {
+		t.Fatal("disk get failed")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ff00aa.ckpt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("ff00aa"); ok {
+		t.Error("store served a corrupt disk entry")
+	}
+	if err := s.Put("../evil", img); err == nil {
+		t.Error("Put accepted a non-hex key")
+	}
+	if _, ok := s.Get("../evil"); ok {
+		t.Error("Get accepted a non-hex key")
+	}
+	var nilStore *Store
+	if _, ok := nilStore.Get(key); ok {
+		t.Error("nil store hit")
+	}
+	if err := nilStore.Put(key, img); err != nil {
+		t.Error("nil store Put errored")
+	}
+}
+
+// FuzzDecode drives the container decoder with arbitrary bytes: it
+// must never panic and must reject anything whose framing does not
+// verify.
+func FuzzDecode(f *testing.F) {
+	parts, _, _ := sampleParts()
+	img, _ := Marshal(parts)
+	f.Add(img)
+	f.Add([]byte{})
+	f.Add([]byte("DXCK"))
+	f.Add(Encode(nil))
+	f.Add(Encode([]Section{{Name: "", Data: nil}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sections, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same
+		// sections (the frame is canonical for a given section list).
+		img := Encode(sections)
+		again, err := Decode(img)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded checkpoint failed: %v", err)
+		}
+		if len(again) != len(sections) {
+			t.Fatalf("section count changed: %d -> %d", len(sections), len(again))
+		}
+		for i := range again {
+			if again[i].Name != sections[i].Name || !bytes.Equal(again[i].Data, sections[i].Data) {
+				t.Fatalf("section %d changed across re-encode", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a content-addressed checkpoint cache: snapshots taken
+// after shared warm-up are keyed by the warm-up spec hash so a whole
+// figure sweep reuses one warm-up instead of re-simulating it per
+// point. Entries live in memory and, when a directory is configured,
+// on disk (surviving the process, exactly like the serve result
+// cache).
+type Store struct {
+	mu  sync.Mutex
+	mem map[string][]byte
+	dir string
+}
+
+// NewStore builds a store; dir == "" keeps checkpoints in memory
+// only.
+func NewStore(dir string) *Store {
+	return &Store{mem: make(map[string][]byte), dir: dir}
+}
+
+// path maps a key to its on-disk file. Keys are hex hashes; anything
+// else is rejected by validKey before reaching here.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".ckpt")
+}
+
+func validKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for _, c := range key {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the checkpoint stored under key, if any.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s == nil || !validKey(key) {
+		return nil, false
+	}
+	s.mu.Lock()
+	b, ok := s.mem[key]
+	s.mu.Unlock()
+	if ok {
+		return b, true
+	}
+	if s.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	// Disk entries are only trusted after the framing verifies: a
+	// truncated write or foreign file must read as a miss, not poison
+	// a restore.
+	if _, err := Decode(b); err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.mem[key] = b
+	s.mu.Unlock()
+	return b, true
+}
+
+// Put stores a checkpoint under key. Disk write failures are
+// swallowed: the memory entry still serves this process, and the
+// cache is strictly an optimization.
+func (s *Store) Put(key string, data []byte) error {
+	if s == nil {
+		return nil
+	}
+	if !validKey(key) {
+		return fmt.Errorf("ckpt: invalid store key %q", key)
+	}
+	s.mu.Lock()
+	s.mem[key] = data
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil //nolint:nilerr // cache-only: memory entry suffices
+	}
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return nil //nolint:nilerr
+	}
+	_ = os.Rename(tmp, s.path(key))
+	return nil
+}
+
+// Len reports how many checkpoints are resident in memory.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}

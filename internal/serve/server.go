@@ -356,6 +356,12 @@ type runRequest struct {
 	// deliberately stays outside Overrides and the content hash — two
 	// submissions differing only in shards coalesce onto one job.
 	Shards int `json:"shards,omitempty"`
+	// Sampling, when non-nil, runs the job under SMARTS interval
+	// sampling (see exp.SamplingConfig). Unlike Shards it changes what
+	// is computed — a sampled result is an estimate with confidence
+	// intervals — so it joins the Spec and therefore the content hash:
+	// sampled and full-detail submissions never coalesce.
+	Sampling *exp.SamplingConfig `json:"sampling,omitempty"`
 }
 
 // resolve turns the request into a fully-resolved Spec.
@@ -400,7 +406,7 @@ func (rr runRequest) resolve() (exp.Spec, error) {
 	if cfg.Cores < 1 || cfg.Cores > 64 || cfg.Instances < 1 || cfg.Instances > cfg.Cores {
 		return exp.Spec{}, fmt.Errorf("invalid core/instance override (cores %d, instances %d)", cfg.Cores, cfg.Instances)
 	}
-	return exp.Spec{Workload: rr.Workload, Scale: rr.Scale, Config: cfg}, nil
+	return exp.Spec{Workload: rr.Workload, Scale: rr.Scale, Config: cfg, Sampling: rr.Sampling}, nil
 }
 
 type submitResponse struct {
