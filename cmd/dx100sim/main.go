@@ -12,6 +12,8 @@
 //	dx100sim -fig all -scale 8              # everything (slow)
 //	dx100sim -fig all -scale 8 -jobs 4      # ... on 4 worker goroutines
 //	dx100sim -run GZZ -mode baseline -shards 4   # sharded engine, identical results
+//	dx100sim -pattern traces/p.json -json   # compile a Spatter pattern file and run it
+//	dx100sim -fig skew                      # skewed-graph sweep (sampled)
 //	dx100sim -table4                        # area/power model
 package main
 
@@ -22,6 +24,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"dx100/internal/amodel"
@@ -31,6 +34,7 @@ import (
 	"dx100/internal/obs/prof"
 	"dx100/internal/sim"
 	"dx100/internal/workloads"
+	"dx100/internal/workloads/pattern"
 )
 
 func main() {
@@ -39,9 +43,10 @@ func main() {
 		config   = flag.Bool("config", false, "print the Table 3 system configuration")
 		table4   = flag.Bool("table4", false, "print the Table 4 area/power model")
 		run      = flag.String("run", "", "run one workload by name")
+		patt     = flag.String("pattern", "", "run a Spatter-style gather/scatter pattern JSON file instead of a named workload (composes with -mode, -scale and every -run output flag)")
 		mode     = flag.String("mode", "dx100", "system: baseline, dmp or dx100")
 		scale    = flag.Int("scale", 4, "dataset scale factor (1 = smoke test, 8+ = evaluation)")
-		fig      = flag.String("fig", "", "regenerate a figure: 8a, 8bc, 9, 10, 11, 12, 13, 14, ablation or all")
+		fig      = flag.String("fig", "", "regenerate a figure: 8a, 8bc, 9, 10, 11, 12, 13, 14, ablation, skew or all")
 		names    = flag.String("workloads", "", "comma-separated workload subset for -fig")
 		jobs     = flag.Int("jobs", 0, "concurrent experiment runs (0 = one per CPU, 1 = serial)")
 		shards   = flag.Int("shards", 0, "goroutine lanes advancing each simulation's cores and memory channels between deterministic epoch barriers (0 = serial engine; results are byte-identical; speedup needs >= 4 procs, baseline/dmp modes benefit most)")
@@ -93,8 +98,11 @@ func main() {
 		printConfig()
 	case *table4:
 		printTable4()
-	case *run != "":
-		runOne(*run, *mode, *scale, runFlags{
+	case *run != "" || *patt != "":
+		if *run != "" && *patt != "" {
+			fatal(fmt.Errorf("-run and -pattern are mutually exclusive"))
+		}
+		runOne(*run, *patt, *mode, *scale, runFlags{
 			verbose: *verbose, asJSON: *asJSON,
 			trace: *trace, metrics: *metrics,
 			profileWindow: *profWin, timeline: *timeline,
@@ -103,7 +111,7 @@ func main() {
 			checkpointTo: *ckptTo, restoreFrom: *restore,
 		})
 	case *fig != "":
-		runFigure(runner, *fig, *scale, subset(*names))
+		runFigure(runner, *fig, *scale, subset(*names), samplingFrom(*sampleI, *sampleD, *sampleW))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -124,6 +132,21 @@ func listWorkloads() {
 		rep := loopir.Analyze(inst.Kernels[0])
 		fmt.Printf("  %-6s %-55s depth=%d ranges=%d\n", name, inst.Pattern, rep.MaxDepth, rep.RangeLoops)
 	}
+	fmt.Println("\nStructured graph traversals (skewed generator defaults; -run accepts any):")
+	var graphs []string
+	for name := range workloads.Registry {
+		if strings.HasPrefix(name, "graph.") {
+			graphs = append(graphs, name)
+		}
+	}
+	sort.Strings(graphs)
+	for _, name := range graphs {
+		inst := workloads.Registry[name](1)
+		rep := loopir.Analyze(inst.Kernels[0])
+		fmt.Printf("  %-14s %-47s depth=%d ranges=%d\n", name, inst.Pattern, rep.MaxDepth, rep.RangeLoops)
+	}
+	fmt.Println("\nPattern files: -pattern FILE compiles Spatter-style gather/scatter JSON")
+	fmt.Println("(see README \"Skewed graphs and pattern files\").")
 }
 
 func printConfig() {
@@ -166,7 +189,20 @@ type runFlags struct {
 	restoreFrom     string
 }
 
-func runOne(name, modeStr string, scale int, f runFlags) {
+// samplingFrom assembles the optional SamplingConfig the -sample-*
+// flags describe (nil when sampling is off).
+func samplingFrom(interval int, detail, warmup int64) *exp.SamplingConfig {
+	if interval <= 0 {
+		return nil
+	}
+	return &exp.SamplingConfig{
+		Interval: interval,
+		Detail:   sim.Cycle(detail),
+		Warmup:   sim.Cycle(warmup),
+	}
+}
+
+func runOne(name, patternPath, modeStr string, scale int, f runFlags) {
 	m, err := exp.ParseMode(modeStr)
 	if err != nil {
 		fatal(err)
@@ -191,18 +227,28 @@ func runOne(name, modeStr string, scale int, f runFlags) {
 		opts.ProfileWindow = prof.DefaultWindow
 	}
 	opts.Shards = f.shards
-	if f.sampleInterval > 0 {
-		opts.Sampling = &exp.SamplingConfig{
-			Interval: f.sampleInterval,
-			Detail:   sim.Cycle(f.sampleDetail),
-			Warmup:   sim.Cycle(f.sampleWarmup),
-		}
-	}
+	opts.Sampling = samplingFrom(f.sampleInterval, f.sampleDetail, f.sampleWarmup)
 	opts.CheckpointTo = f.checkpointTo
 	opts.RestoreFrom = f.restoreFrom
 	cfg := exp.Default(m)
 	cfg.NoFastForward = cfg.NoFastForward || f.noFF
-	res, err := exp.RunOpts(name, scale, cfg, opts)
+	// Both paths run through exp.Spec so the Result — and therefore the
+	// -json bytes — match what dx100d serves for the same submission.
+	spec := exp.Spec{Workload: name, Scale: scale, Config: cfg}
+	if patternPath != "" {
+		data, err := os.ReadFile(patternPath)
+		if err != nil {
+			fatal(err)
+		}
+		pf, err := pattern.Parse(data)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Workload = ""
+		spec.Pattern = pf
+		name = pf.InstanceName()
+	}
+	res, err := spec.Run(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -295,8 +341,19 @@ func writeMetrics(path string, res exp.Result) error {
 	return err
 }
 
-func runFigure(r exp.Runner, fig string, scale int, names []string) {
+// defaultSkewSampling is the skew sweep's sampling configuration when
+// the -sample-* flags are not given: the sweep's baseline runs are the
+// long ones, and interval sampling keeps the whole table interactive.
+var defaultSkewSampling = exp.SamplingConfig{Interval: 50000, Detail: 10000, Warmup: 2000}
+
+func runFigure(r exp.Runner, fig string, scale int, names []string, sampling *exp.SamplingConfig) {
 	switch fig {
+	case "skew":
+		if sampling == nil {
+			s := defaultSkewSampling
+			sampling = &s
+		}
+		show(r.SkewSweep(scale, nil, sampling))
 	case "8a":
 		show(r.Fig8aAllHit(scale))
 	case "8bc":
@@ -342,6 +399,11 @@ func runFigure(r exp.Runner, fig string, scale int, names []string) {
 		show(r.Fig13TileSize(scale/2+1, names))
 		show(r.Fig14Scalability(scale/2+1, names))
 		show(r.AblationReorder(scale, names))
+		if sampling == nil {
+			s := defaultSkewSampling
+			sampling = &s
+		}
+		show(r.SkewSweep(scale/2+1, nil, sampling))
 		printTable4()
 	default:
 		fatal(fmt.Errorf("unknown figure %q", fig))

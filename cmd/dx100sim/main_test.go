@@ -36,7 +36,7 @@ func TestRunOneProfiled(t *testing.T) {
 	traceFile := filepath.Join(dir, "t.jsonl")
 	metricsFile := filepath.Join(dir, "m.json")
 	timelineFile := filepath.Join(dir, "tl.json")
-	runOne("micro.gather", "dx100", 1, runFlags{
+	runOne("micro.gather", "", "dx100", 1, runFlags{
 		verbose:       true,
 		trace:         traceFile,
 		metrics:       metricsFile,
@@ -70,10 +70,23 @@ func TestRunOneProfiled(t *testing.T) {
 
 // TestRunOneJSON covers the -json path (the dx100d wire form).
 func TestRunOneJSON(t *testing.T) {
-	runOne("micro.gather", "baseline", 1, runFlags{asJSON: true})
+	runOne("micro.gather", "", "baseline", 1, runFlags{asJSON: true})
 }
 
 // TestRunFigure covers the figure dispatcher on a fast subset.
 func TestRunFigure(t *testing.T) {
-	runFigure(exp.Runner{}, "9", 1, []string{"micro.gather"})
+	runFigure(exp.Runner{}, "9", 1, []string{"micro.gather"}, nil)
+}
+
+// TestRunOnePattern covers the -pattern path end to end on the
+// committed golden pattern file, including the -json wire form.
+func TestRunOnePattern(t *testing.T) {
+	runOne("", "../../internal/workloads/pattern/testdata/xrage_like.json", "dx100", 1,
+		runFlags{asJSON: true})
+}
+
+// TestRunFigureSkew covers the skewed-graph sweep dispatcher at smoke
+// scale with its default sampling.
+func TestRunFigureSkew(t *testing.T) {
+	runFigure(exp.Runner{}, "skew", 1, nil, nil)
 }

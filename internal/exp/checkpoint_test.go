@@ -31,30 +31,33 @@ func runJSON(t *testing.T, name string, scale int, cfg SystemConfig, opts RunOpt
 // TestCheckpointRestoreIdentity pins the subsystem's central contract:
 // restoring a post-warm-up checkpoint into a freshly built identical
 // system and running is byte-identical to the uninterrupted run — for
-// every mode, on both the serial and the sharded engine. Writing the
+// every mode, on both the serial and the sharded engine, for both a
+// uniform-index workload and the skewed graph generator. Writing the
 // checkpoint must also not perturb the run that wrote it.
 func TestCheckpointRestoreIdentity(t *testing.T) {
-	for _, mode := range []Mode{Baseline, DMP, DX} {
-		for _, shards := range []int{0, 4} {
-			mode, shards := mode, shards
-			t.Run(fmt.Sprintf("%s/shards=%d", mode, shards), func(t *testing.T) {
-				t.Parallel()
-				cfg := Default(mode)
-				cfg.WarmLLC = true
-				file := filepath.Join(t.TempDir(), "warm.ckpt")
-				opts := RunOptions{Shards: shards}
-				plain := runJSON(t, "GZZ", 1, cfg, opts)
-				save := opts
-				save.CheckpointTo = file
-				if saved := runJSON(t, "GZZ", 1, cfg, save); !bytes.Equal(plain, saved) {
-					t.Errorf("writing a checkpoint perturbed the run:\n%s\nvs\n%s", plain, saved)
-				}
-				rest := opts
-				rest.RestoreFrom = file
-				if restored := runJSON(t, "GZZ", 1, cfg, rest); !bytes.Equal(plain, restored) {
-					t.Errorf("restored run diverges from uninterrupted run:\n%s\nvs\n%s", plain, restored)
-				}
-			})
+	for _, name := range []string{"GZZ", "graph.pr.push"} {
+		for _, mode := range []Mode{Baseline, DMP, DX} {
+			for _, shards := range []int{0, 4} {
+				name, mode, shards := name, mode, shards
+				t.Run(fmt.Sprintf("%s/%s/shards=%d", name, mode, shards), func(t *testing.T) {
+					t.Parallel()
+					cfg := Default(mode)
+					cfg.WarmLLC = true
+					file := filepath.Join(t.TempDir(), "warm.ckpt")
+					opts := RunOptions{Shards: shards}
+					plain := runJSON(t, name, 1, cfg, opts)
+					save := opts
+					save.CheckpointTo = file
+					if saved := runJSON(t, name, 1, cfg, save); !bytes.Equal(plain, saved) {
+						t.Errorf("writing a checkpoint perturbed the run:\n%s\nvs\n%s", plain, saved)
+					}
+					rest := opts
+					rest.RestoreFrom = file
+					if restored := runJSON(t, name, 1, cfg, rest); !bytes.Equal(plain, restored) {
+						t.Errorf("restored run diverges from uninterrupted run:\n%s\nvs\n%s", plain, restored)
+					}
+				})
+			}
 		}
 	}
 }

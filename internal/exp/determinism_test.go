@@ -16,8 +16,10 @@ import (
 // instead of only shifting a benchmark table.
 
 // detNames is the workload subset the determinism tests run on: an
-// RMW kernel, an indirect-gather kernel and a scatter kernel.
-var detNames = []string{"IS", "GZZ", "XRAGE"}
+// RMW kernel, an indirect-gather kernel, a scatter kernel, and the
+// skewed-graph push traversal (power-law degrees + community
+// clustering, the structured generator from internal/workloads).
+var detNames = []string{"IS", "GZZ", "XRAGE", "graph.pr.push"}
 
 // resultKey renders every measured field of a Result, plus the full
 // statistics registry, at full precision — two Results with equal keys
@@ -81,8 +83,8 @@ func TestMainEvaluationRunToRunDeterministic(t *testing.T) {
 	}
 }
 
-// golden holds the fixed-seed scale-1 metrics for three representative
-// workloads. Cycle counts are exact; rates are checked to 1e-12. If an
+// golden holds the fixed-seed scale-1 metrics for the representative
+// workloads in detNames. Cycle counts are exact; rates are checked to 1e-12. If an
 // intentional model change moves these, rerun the evaluation and
 // update the table (the values print on failure).
 var goldens = map[string]struct {
@@ -94,6 +96,7 @@ var goldens = map[string]struct {
 	"IS":    {1047768, 191827, 131084, 49, 0.062063357537164715, 0.9082397589482135, 0.23017776957618258, 0.8724859950408669},
 	"GZZ":   {913422, 169305, 237784, 53, 0.10939959843314481, 0.9459906440485754, 0.15138900008005765, 0.9476023976023976},
 	"XRAGE": {1155378, 243975, 327692, 65, 0.127791943415921, 0.9195078164066662, 0.060603597745990466, 0.8825333428428785},
+	"graph.pr.push": {1458235, 1399951, 653877, 35131, 0.058893154322282981, 0.52706168077431337, 0.095714951094550541, 0.84866505841216489},
 }
 
 func TestGoldenMetrics(t *testing.T) {

@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"dx100/internal/obs"
+	"dx100/internal/workloads"
+	"dx100/internal/workloads/pattern"
 )
 
 // updateGoldens rewrites the committed golden trace from the current
@@ -74,15 +76,15 @@ func TestTraceResultNeutral(t *testing.T) {
 // DX100 activity, small enough to review in a diff.
 const goldenTraceLines = 250
 
-// captureGoldenTrace runs the golden workload (micro.gather, scale 1,
-// DX100 system) with a spilling JSONL sink and returns the first
-// goldenTraceLines lines of the trace.
-func captureGoldenTrace(t *testing.T) string {
+// captureTraceHead runs a freshly built instance on the DX100 system
+// with a spilling JSONL sink and returns the first goldenTraceLines
+// lines of the trace.
+func captureTraceHead(t *testing.T, build func() *workloads.Instance) string {
 	t.Helper()
 	var buf bytes.Buffer
 	sink := obs.NewSink(0)
 	sink.SpillJSONL(&buf)
-	if _, err := RunOpts("micro.gather", 1, Default(DX), RunOptions{Trace: sink}); err != nil {
+	if _, err := RunInstanceOpts(build(), Default(DX), RunOptions{Trace: sink}); err != nil {
 		t.Fatal(err)
 	}
 	if err := sink.Close(); err != nil {
@@ -95,14 +97,22 @@ func captureGoldenTrace(t *testing.T) string {
 	return strings.Join(lines[:goldenTraceLines], "")
 }
 
-// TestGoldenTraceMicroGather diffs the head of the micro.gather DX100
-// event trace against the committed golden. The simulator is
+// captureGoldenTrace is captureTraceHead for the original golden
+// workload (micro.gather, scale 1).
+func captureGoldenTrace(t *testing.T) string {
+	t.Helper()
+	return captureTraceHead(t, func() *workloads.Instance {
+		return workloads.Registry["micro.gather"](1)
+	})
+}
+
+// goldenTraceDiff diffs a captured trace head against the committed
+// golden at path, rewriting it first under -update. The simulator is
 // deterministic, so any divergence means the command schedule (or the
 // trace encoding) changed. For an intentional change, regenerate with
-// -update (see updateGoldens) and commit the new file.
-func TestGoldenTraceMicroGather(t *testing.T) {
-	path := filepath.Join("testdata", "micro_gather_dx_trace.jsonl")
-	got := captureGoldenTrace(t)
+// -update (see updateGoldens) and review + commit the new file.
+func goldenTraceDiff(t *testing.T, path, got string) {
+	t.Helper()
 	if *updateGoldens {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
@@ -142,6 +152,44 @@ func TestGoldenTraceMicroGather(t *testing.T) {
 		}
 	}
 	t.Fatalf("trace length differs from golden: got %d lines, want %d", len(gotLines), len(wantLines))
+}
+
+// TestGoldenTraceMicroGather pins the head of the micro.gather DX100
+// event trace.
+func TestGoldenTraceMicroGather(t *testing.T) {
+	goldenTraceDiff(t, filepath.Join("testdata", "micro_gather_dx_trace.jsonl"), captureGoldenTrace(t))
+}
+
+// goldenGraphInstance is a deliberately small skewed graph (power-law
+// exponent 2, community clustering) so the traced DX100 run stays fast
+// while still exercising the structured generator's command schedule.
+func goldenGraphInstance() *workloads.Instance {
+	return workloads.BuildGraph(workloads.GraphConfig{
+		Kernel: "pr", Dir: "push",
+		Exponent: 2.0, Clustering: workloads.DefaultClustering,
+		Nodes: 2048, Deg: 8,
+	}, 1)
+}
+
+// TestGoldenTraceGraphSkewed pins the head of a skewed-graph PR push
+// traversal's DX100 event trace — the structured-generator twin of the
+// micro.gather golden.
+func TestGoldenTraceGraphSkewed(t *testing.T) {
+	goldenTraceDiff(t, filepath.Join("testdata", "graph_pr_push_dx_trace.jsonl"),
+		captureTraceHead(t, goldenGraphInstance))
+}
+
+// TestGoldenTracePattern pins the head of the compiled golden pattern
+// file's DX100 event trace.
+func TestGoldenTracePattern(t *testing.T) {
+	goldenTraceDiff(t, filepath.Join("testdata", "pattern_xrage_dx_trace.jsonl"),
+		captureTraceHead(t, func() *workloads.Instance {
+			inst, err := pattern.Compile(patternFile(t), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return inst
+		}))
 }
 
 // TestGoldenTraceStableAcrossRuns guards the golden's premise without

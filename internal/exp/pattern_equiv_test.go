@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dx100/internal/workloads"
+	"dx100/internal/workloads/pattern"
+)
+
+// Compiled pattern files are not Registry workloads, so they cannot
+// ride the detNames matrices — these instance-based twins give them the
+// same byte-identity pins: sharded vs serial, checkpoint save/restore,
+// and interval sampling under both engines.
+
+// patternFile loads and parses the committed golden pattern file.
+func patternFile(t *testing.T) *pattern.File {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "workloads", "pattern", "testdata", "xrage_like.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pattern.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// runPatternJSON compiles a fresh instance of the golden pattern file
+// (instances mutate as they run; Compile is deterministic) and returns
+// the Result wire form.
+func runPatternJSON(t *testing.T, scale int, cfg SystemConfig, opts RunOptions) []byte {
+	t.Helper()
+	inst, err := pattern.Compile(patternFile(t), scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunInstanceOpts(inst, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ResultJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPatternShardEquivalence: a compiled-pattern run on the sharded
+// engine is byte-identical to the serial engine, in every mode.
+func TestPatternShardEquivalence(t *testing.T) {
+	for _, mode := range []Mode{Baseline, DMP, DX} {
+		mode := mode
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			t.Parallel()
+			cfg := Default(mode)
+			serial := runPatternJSON(t, 1, cfg, RunOptions{})
+			for _, shards := range []int{1, 4} {
+				if got := runPatternJSON(t, 1, cfg, RunOptions{Shards: shards}); !bytes.Equal(got, serial) {
+					t.Errorf("shards=%d diverges from serial:\n%s\nvs\n%s", shards, serial, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPatternCheckpointRestoreIdentity: the checkpoint contract holds
+// for compiled patterns too — the layout guard sees the stable
+// "pattern:<name>" instance name, and Compile rebuilds byte-identical
+// initial state on restore.
+func TestPatternCheckpointRestoreIdentity(t *testing.T) {
+	for _, mode := range []Mode{Baseline, DX} {
+		mode := mode
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			t.Parallel()
+			cfg := Default(mode)
+			cfg.WarmLLC = true
+			file := filepath.Join(t.TempDir(), "warm.ckpt")
+			plain := runPatternJSON(t, 1, cfg, RunOptions{})
+			if saved := runPatternJSON(t, 1, cfg, RunOptions{CheckpointTo: file}); !bytes.Equal(plain, saved) {
+				t.Errorf("writing a checkpoint perturbed the run:\n%s\nvs\n%s", plain, saved)
+			}
+			if restored := runPatternJSON(t, 1, cfg, RunOptions{RestoreFrom: file}); !bytes.Equal(plain, restored) {
+				t.Errorf("restored run diverges from uninterrupted run:\n%s\nvs\n%s", plain, restored)
+			}
+		})
+	}
+}
+
+// TestSampledShardEquivalence: interval sampling composes with the
+// sharded engine — a sampled run at any lane count is byte-identical to
+// the sampled serial run — for both new workload families (the skewed
+// graph via the registry, the compiled pattern via its instance path).
+func TestSampledShardEquivalence(t *testing.T) {
+	scfg := &SamplingConfig{Interval: 20_000, Detail: 5_000, Warmup: 1_000}
+	t.Run("graph.pr.push", func(t *testing.T) {
+		t.Parallel()
+		cfg := Default(Baseline)
+		run := func(shards int) []byte {
+			res, err := RunInstanceOpts(workloads.Registry["graph.pr.push"](1), cfg,
+				RunOptions{Shards: shards, Sampling: scfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := ResultJSON(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		serial := run(0)
+		if got := run(4); !bytes.Equal(got, serial) {
+			t.Errorf("sampled sharded run diverges from sampled serial:\n%s\nvs\n%s", serial, got)
+		}
+	})
+	t.Run("pattern", func(t *testing.T) {
+		t.Parallel()
+		cfg := Default(Baseline)
+		serial := runPatternJSON(t, 4, cfg, RunOptions{Sampling: scfg})
+		if got := runPatternJSON(t, 4, cfg, RunOptions{Shards: 4, Sampling: scfg}); !bytes.Equal(got, serial) {
+			t.Errorf("sampled sharded run diverges from sampled serial:\n%s\nvs\n%s", serial, got)
+		}
+	})
+}

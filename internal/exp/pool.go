@@ -129,6 +129,10 @@ func (r Runner) forEach(n int, fn func(i int) error) error {
 type runSpec struct {
 	inst func() *workloads.Instance
 	cfg  SystemConfig
+	// sampling, when non-nil, runs this spec under interval sampling
+	// (the skew sweep samples its long baseline runs; nil everywhere
+	// else keeps every existing figure byte-identical).
+	sampling *SamplingConfig
 }
 
 // namedSpec builds a runSpec for a registered workload.
@@ -147,7 +151,9 @@ func (r Runner) runAll(specs []runSpec) ([]Result, error) {
 	var completed atomic.Int64
 	opts := RunOptions{Context: r.Context, Shards: r.Shards}
 	err := r.forEach(len(specs), func(i int) error {
-		res, err := RunInstanceOpts(specs[i].inst(), specs[i].cfg, opts)
+		o := opts
+		o.Sampling = specs[i].sampling
+		res, err := RunInstanceOpts(specs[i].inst(), specs[i].cfg, o)
 		if err != nil {
 			return err
 		}

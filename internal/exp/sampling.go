@@ -141,21 +141,24 @@ func (s *system) runSampled(scfg SamplingConfig) (sim.Cycle, *SamplingStats, err
 
 	for !done() {
 		// Detailed window: unmeasured warm-up first, then measurement.
+		// RunUntil (not a Now() >= edge predicate) so the window edges
+		// land on exactly the same cycle under every stepping strategy —
+		// a caller-side predicate overshoots by a jump- or epoch-window-
+		// dependent amount, which would make sampled estimates differ
+		// between the serial and sharded engines.
 		if scfg.Warmup > 0 {
-			wEnd := s.eng.Now() + scfg.Warmup
-			if _, err := s.eng.Run(func() bool { return done() || s.eng.Now() >= wEnd }); err != nil {
+			if _, err := s.eng.RunUntil(s.eng.Now()+scfg.Warmup, done); err != nil {
 				return 0, nil, err
 			}
 		}
 		m0 := s.eng.Now()
 		i0, sp0 := instr(), spin()
 		b0, dc0 := s.stats.Get("dram.bytes"), s.stats.Get("dram.cycles")
-		mEnd := m0 + scfg.Detail
-		if _, err := s.eng.Run(func() bool { return done() || s.eng.Now() >= mEnd }); err != nil {
+		if _, err := s.eng.RunUntil(m0+scfg.Detail, done); err != nil {
 			return 0, nil, err
 		}
-		// Fast-forward can overshoot the window edge; measure the cycles
-		// that actually elapsed.
+		// The run can end inside the window; measure the cycles that
+		// actually elapsed.
 		if dc := float64(s.eng.Now() - m0); dc > 0 {
 			st.Windows++
 			ipcs = append(ipcs, (instr()-i0)/(dc*float64(len(s.cores))))

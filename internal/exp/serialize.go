@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"dx100/internal/workloads/pattern"
 )
 
 // Spec is one fully-resolved run request: a workload, its dataset
@@ -17,6 +19,13 @@ type Spec struct {
 	Workload string       `json:"workload"`
 	Scale    int          `json:"scale"`
 	Config   SystemConfig `json:"config"`
+	// Pattern, when non-nil, compiles a Spatter-style pattern file
+	// into the workload instead of looking Workload up in the registry
+	// (Workload must then be empty). The normalized file is part of the
+	// content address — omitempty keeps every registry-workload spec
+	// hash unchanged, and two submissions of the same pattern (however
+	// the JSON was formatted) are the same experiment.
+	Pattern *pattern.File `json:"pattern,omitempty"`
 	// Sampling, when non-nil, runs the spec under interval sampling
 	// (see RunOptions.Sampling). It is part of the content address —
 	// omitempty keeps every pre-sampling spec hash unchanged, and a
@@ -39,6 +48,10 @@ type Spec struct {
 // pins this).
 func (sp Spec) Canonical() ([]byte, error) {
 	sp.Workload = strings.ToValidUTF8(sp.Workload, "�")
+	if sp.Pattern != nil {
+		n := sp.Pattern.Normalized()
+		sp.Pattern = &n
+	}
 	b, err := json.Marshal(sp)
 	if err != nil {
 		return nil, fmt.Errorf("exp: canonicalize spec: %w", err)
@@ -61,6 +74,20 @@ func (sp Spec) Hash() (string, error) {
 func (sp Spec) Run(opts RunOptions) (Result, error) {
 	if sp.Sampling != nil && opts.Sampling == nil {
 		opts.Sampling = sp.Sampling
+	}
+	if sp.Pattern != nil {
+		if sp.Workload != "" {
+			return Result{}, fmt.Errorf("exp: spec names both workload %q and a pattern file", sp.Workload)
+		}
+		scale := sp.Scale
+		if scale < 1 {
+			scale = 1
+		}
+		inst, err := pattern.Compile(sp.Pattern, scale)
+		if err != nil {
+			return Result{}, err
+		}
+		return RunInstanceOpts(inst, sp.Config, opts)
 	}
 	return RunOpts(sp.Workload, sp.Scale, sp.Config, opts)
 }

@@ -37,6 +37,7 @@ import (
 	"dx100/internal/obs/prof"
 	"dx100/internal/sim"
 	"dx100/internal/workloads"
+	"dx100/internal/workloads/pattern"
 )
 
 // Config sizes the daemon.
@@ -362,12 +363,32 @@ type runRequest struct {
 	// intervals — so it joins the Spec and therefore the content hash:
 	// sampled and full-detail submissions never coalesce.
 	Sampling *exp.SamplingConfig `json:"sampling,omitempty"`
+	// Pattern, when non-nil, submits a Spatter-style gather/scatter
+	// pattern file instead of a registry workload (Workload must then be
+	// empty). The normalized file joins the Spec, so two submissions of
+	// the same pattern — however the JSON was formatted — coalesce, and
+	// the served Result is byte-identical to `dx100sim -pattern ... -json`.
+	Pattern *pattern.File `json:"pattern,omitempty"`
 }
 
 // resolve turns the request into a fully-resolved Spec.
 func (rr runRequest) resolve() (exp.Spec, error) {
-	if _, ok := workloads.Registry[rr.Workload]; !ok {
-		return exp.Spec{}, fmt.Errorf("unknown workload %q (see dx100sim -list; micro.* names are also served)", rr.Workload)
+	switch {
+	case rr.Pattern != nil && rr.Workload != "":
+		return exp.Spec{}, fmt.Errorf("request names both workload %q and a pattern file", rr.Workload)
+	case rr.Pattern != nil:
+		// Re-validate server-side: the decoder above bypassed
+		// pattern.Parse, and hostile entries must fail here, not in the
+		// worker.
+		n := rr.Pattern.Normalized()
+		if err := n.Validate(); err != nil {
+			return exp.Spec{}, err
+		}
+		rr.Pattern = &n
+	default:
+		if _, ok := workloads.Registry[rr.Workload]; !ok {
+			return exp.Spec{}, fmt.Errorf("unknown workload %q (see dx100sim -list; micro.* names are also served)", rr.Workload)
+		}
 	}
 	if rr.Mode == "" {
 		rr.Mode = "dx100"
@@ -406,7 +427,7 @@ func (rr runRequest) resolve() (exp.Spec, error) {
 	if cfg.Cores < 1 || cfg.Cores > 64 || cfg.Instances < 1 || cfg.Instances > cfg.Cores {
 		return exp.Spec{}, fmt.Errorf("invalid core/instance override (cores %d, instances %d)", cfg.Cores, cfg.Instances)
 	}
-	return exp.Spec{Workload: rr.Workload, Scale: rr.Scale, Config: cfg, Sampling: rr.Sampling}, nil
+	return exp.Spec{Workload: rr.Workload, Scale: rr.Scale, Config: cfg, Pattern: rr.Pattern, Sampling: rr.Sampling}, nil
 }
 
 type submitResponse struct {

@@ -233,6 +233,13 @@ type Engine struct {
 	// MaxCycles aborts the run when reached; it guards against
 	// deadlocked models in tests. Zero means no limit.
 	MaxCycles Cycle
+	// runBound, when non-zero, is the hard time ceiling installed by
+	// RunUntil: clock jumps clamp to it and epoch windows close at it,
+	// so the engine lands exactly on the bound instead of overshooting
+	// by a jump- or window-dependent amount. That exactness is what
+	// makes time-bounded phases (the interval sampler's detailed
+	// windows) byte-identical across stepping strategies.
+	runBound Cycle
 	// DisableFastForward forces exact cycle-by-cycle stepping even
 	// when every ticker hints. Results must be identical either way;
 	// the equivalence tests pin that.
@@ -491,6 +498,14 @@ func (e *Engine) fastForward() {
 			return
 		}
 	}
+	if e.runBound != 0 && target > e.runBound {
+		// Never jump past a RunUntil bound: a bounded run must land on
+		// exactly the bound cycle whatever the stepping strategy.
+		target = e.runBound
+		if target <= e.now+1 {
+			return
+		}
+	}
 	e.jumpTo(target)
 }
 
@@ -581,4 +596,22 @@ func (e *Engine) Run(done func() bool) (Cycle, error) {
 			}
 		}
 	}
+}
+
+// RunUntil is Run with a hard time bound: the engine stops at the
+// first visited cycle >= bound (or earlier, when done reports true),
+// and — unlike a caller-side `Now() >= bound` stop predicate — it
+// never overshoots the bound. Overshoot is stepping-strategy-dependent
+// (a serial fast-forward jump and a sharded bulk window cross the
+// bound by different amounts), so a time-bounded phase is
+// byte-identical across shard counts only when the engine itself
+// clamps to the bound; the interval sampler's detailed windows rely on
+// this (TestSampledShardEquivalence). Quiescing before the bound with
+// done unsatisfied is a deadlock, exactly as in Run.
+func (e *Engine) RunUntil(bound Cycle, done func() bool) (Cycle, error) {
+	e.runBound = bound
+	defer func() { e.runBound = 0 }()
+	return e.Run(func() bool {
+		return e.now >= bound || (done != nil && done())
+	})
 }

@@ -283,6 +283,11 @@ func (e *Engine) epochStep(nextCheck Cycle, done func() bool) (end bool, at Cycl
 		if e.MaxCycles != 0 && e.MaxCycles < exitB {
 			exitB = e.MaxCycles
 		}
+		if e.runBound != 0 && e.runBound < exitB {
+			// A RunUntil bound closes the window at the bound cycle:
+			// Run's own step lands exactly there, as in a serial run.
+			exitB = e.runBound
+		}
 		// headMin: the earliest due callback over both heap lanes.
 		// wakeMin: the earliest component wake. sOther folds otherMin
 		// and headMin with the non-bulk component wakes — the serial
@@ -344,6 +349,11 @@ func (e *Engine) epochStep(nextCheck Cycle, done func() bool) (end bool, at Cycl
 				if e.MaxCycles != 0 && e.MaxCycles < t {
 					t = e.MaxCycles // the limit error must fire at MaxCycles itself
 				}
+				if e.runBound != 0 && e.runBound < t {
+					// A bounded run must not cross the bound inside a bulk
+					// span: the bound cycle belongs to Run's own step.
+					t = e.runBound
+				}
 				if t > e.now+1 && sw < t {
 					if advanced, stillBusy := e.bulkAdvance(e.bulkIdx, t); advanced {
 						if !opened {
@@ -401,6 +411,12 @@ func (e *Engine) epochStep(nextCheck Cycle, done func() bool) (end bool, at Cycl
 					target = e.MaxCycles
 					if target <= e.now+1 {
 						target = 0 // the serial scan declines this jump
+					}
+				}
+				if e.runBound != 0 && target > e.runBound {
+					target = e.runBound // mirror the serial fastForward clamp
+					if target <= e.now+1 {
+						target = 0
 					}
 				}
 				if target > e.now {

@@ -1,0 +1,60 @@
+package pattern
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPatternCompile feeds arbitrary bytes to the pattern front-end —
+// the path a hostile dx100d client controls — and pins three
+// invariants, mirroring FuzzSpecCanonical (which caught a real UTF-8
+// canonicalization bug in PR 4):
+//
+//  1. nothing panics, whatever the input;
+//  2. canonicalization is a fixed point: Canonical re-parses and
+//     re-canonicalizes to the same bytes, so the content address of a
+//     pattern spec is stable across hops;
+//  3. accepted files compile deterministically (small ones end to end).
+func FuzzPatternCompile(f *testing.F) {
+	f.Add([]byte(`[{"kernel": "Gather", "pattern": [0, 2, 4, 6], "delta": 8, "count": 4}]`))
+	f.Add([]byte(`{"name": "t", "entries": [{"kernel": "scatter", "pattern": [3, 1], "count": 2, "wrap": 8}]}`))
+	f.Add([]byte(`[{"kernel": "gs", "pattern_gather": [0, 1], "pattern_scatter": [1, 0], "delta": 2, "count": 3}]`))
+	f.Add([]byte(`[{"kernel": "gather", "pattern": [-1]}]`))
+	f.Add([]byte(`[{"kernel": "g\xffther", "pattern": [0]}]`))
+	f.Add([]byte(`{"entries": null}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pf, err := Parse(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		c1, err := pf.Canonical()
+		if err != nil {
+			t.Fatalf("accepted file does not canonicalize: %v", err)
+		}
+		pf2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, c1)
+		}
+		c2, err := pf2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalization not idempotent:\n%s\nvs\n%s", c1, c2)
+		}
+		// Compile small accepted files end to end; the caps make large
+		// ones legal but too slow for fuzz throughput.
+		var total int64
+		for _, e := range pf.Entries {
+			total += e.Count * int64(len(e.Pattern)+len(e.Gather)+len(e.Scatter))
+		}
+		if total > 1<<12 {
+			return
+		}
+		inst, err := Compile(pf, 1)
+		if err != nil || inst == nil {
+			t.Fatalf("validated file failed to compile: %v", err)
+		}
+	})
+}

@@ -96,6 +96,23 @@ func newInstance(name, pattern string, sp *memspace.Space, ks []*loopir.Kernel) 
 	return inst
 }
 
+// NewInstance exposes the instance constructor to external workload
+// front-ends (the pattern compiler in workloads/pattern); in-package
+// builders use newInstance directly.
+func NewInstance(name, pattern string, sp *memspace.Space, ks []*loopir.Kernel) *Instance {
+	return newInstance(name, pattern, sp, ks)
+}
+
+// SetU64 fills array name from vals (raw words) — the exported form of
+// setU64 for external front-ends.
+func (inst *Instance) SetU64(name string, vals []uint64) { inst.setU64(name, vals) }
+
+// PatternFor builds a DMP pattern descriptor from instance arrays —
+// the exported form of pattern for external front-ends.
+func (inst *Instance) PatternFor(index, target string) prefetch.Pattern {
+	return inst.pattern(index, target)
+}
+
 // setU64 fills array name from vals (raw words).
 func (inst *Instance) setU64(name string, vals []uint64) {
 	v := inst.arrays[name]
