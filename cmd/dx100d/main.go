@@ -7,6 +7,7 @@
 //	dx100d                                  # serve on :8100, in-memory cache
 //	dx100d -addr :9000 -cache /var/dx100    # persistent result cache
 //	dx100d -workers 4 -queue 128 -timeout 30m
+//	dx100d -pprof                           # mount /debug/pprof/
 //
 // Quick check once it is up:
 //
@@ -15,7 +16,12 @@
 //	     -d '{"workload":"micro.gather","mode":"dx100","scale":1}'
 //	curl -s localhost:8100/v1/runs/<id>
 //	curl -N localhost:8100/v1/runs/<id>/events
+//	curl -s localhost:8100/v1/runs/<id>/trace   # Perfetto-loadable spans
 //	curl -s 'localhost:8100/v1/figures/9?scale=1&workloads=IS,GZZ'
+//
+// Or open http://localhost:8100/dashboard in a browser for the live
+// view. Logs are structured JSON on stderr, one line per HTTP request
+// and job transition, correlated by trace_id.
 package main
 
 import (
@@ -23,7 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,9 +52,16 @@ func main() {
 		shards     = flag.Int("shards", 0, "default goroutine lanes per simulation on the sharded engine, fanning cores and memory channels between epoch barriers; per-request \"shards\" overrides (0 = serial engine; results are byte-identical)")
 		profWin    = flag.Int64("profile-window", int64(prof.DefaultWindow), "telemetry sampling interval in cycles for run jobs: live `timeline` SSE events plus GET /v1/runs/{id}/timeline (0 = off)")
 		drain      = flag.Duration("drain", 2*time.Minute, "graceful-shutdown budget before in-flight jobs are canceled")
+		pprof      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator-only: exposes heap contents)")
+		logLevel   = flag.String("log-level", "info", "minimum slog level: debug, info, warn, error")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "dx100d: ", log.LstdFlags)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "dx100d: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv, err := serve.New(serve.Config{
 		Workers:       *workers,
@@ -58,7 +71,8 @@ func main() {
 		FigWorkers:    *figWorkers,
 		Shards:        *shards,
 		ProfileWindow: sim.Cycle(*profWin),
-		Log:           logger,
+		Logger:        logger,
+		Pprof:         *pprof,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dx100d:", err)
@@ -68,8 +82,8 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers %d, queue %d, cache %q)",
-			*addr, *workers, *queueDepth, *cacheDir)
+		logger.Info("listening", "addr", *addr, "workers", *workers,
+			"queue", *queueDepth, "cache", *cacheDir, "pprof", *pprof)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -81,7 +95,7 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down: draining jobs (budget %v)", *drain)
+	logger.Info("shutting down: draining jobs", "budget", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	httpSrv.Shutdown(shutdownCtx)
@@ -89,5 +103,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dx100d:", err)
 		os.Exit(1)
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }

@@ -32,6 +32,7 @@ import (
 	"dx100/internal/loopir"
 	"dx100/internal/obs"
 	"dx100/internal/obs/prof"
+	"dx100/internal/obs/span"
 	"dx100/internal/sim"
 	"dx100/internal/workloads"
 	"dx100/internal/workloads/pattern"
@@ -53,6 +54,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "dump raw statistics after -run")
 		asJSON   = flag.Bool("json", false, "emit -run results as JSON (the dx100d wire form)")
 		trace    = flag.String("trace", "", "with -run, stream the event trace to this file (.json = Chrome trace_event for chrome://tracing or Perfetto; anything else = JSON Lines)")
+		spanTr   = flag.String("span-trace", "", "with -run, write the run's lifecycle spans (warm-up, sampling windows) to this file as Chrome trace_event JSON for Perfetto")
 		metrics  = flag.String("metrics", "", "with -run, write the full metrics snapshot to this file (.json = JSON; anything else = Prometheus text)")
 		profWin  = flag.Int64("profile-window", 0, "with -run, sample a telemetry timeline every N cycles and attribute core cycles to stall causes (0 = off)")
 		timeline = flag.String("timeline", "", "with -run, write the sampled timeline and stall breakdown to this JSON file (implies profiling at the default window)")
@@ -104,7 +106,7 @@ func main() {
 		}
 		runOne(*run, *patt, *mode, *scale, runFlags{
 			verbose: *verbose, asJSON: *asJSON,
-			trace: *trace, metrics: *metrics,
+			trace: *trace, metrics: *metrics, spanTrace: *spanTr,
 			profileWindow: *profWin, timeline: *timeline,
 			shards: *shards, noFF: *noFF,
 			sampleInterval: *sampleI, sampleDetail: *sampleD, sampleWarmup: *sampleW,
@@ -178,6 +180,7 @@ func printTable4() {
 type runFlags struct {
 	verbose, asJSON bool
 	trace, metrics  string
+	spanTrace       string
 	profileWindow   int64
 	timeline        string
 	shards          int
@@ -230,6 +233,13 @@ func runOne(name, patternPath, modeStr string, scale int, f runFlags) {
 	opts.Sampling = samplingFrom(f.sampleInterval, f.sampleDetail, f.sampleWarmup)
 	opts.CheckpointTo = f.checkpointTo
 	opts.RestoreFrom = f.restoreFrom
+	var spanRec *span.Recorder
+	var rootSpan *span.Span
+	if f.spanTrace != "" {
+		spanRec = span.NewRecorder(0)
+		rootSpan = spanRec.Start("run "+modeStr, span.Context{})
+		opts.OnPhase = phaseSpans(spanRec, rootSpan.Context())
+	}
 	cfg := exp.Default(m)
 	cfg.NoFastForward = cfg.NoFastForward || f.noFF
 	// Both paths run through exp.Spec so the Result — and therefore the
@@ -251,6 +261,12 @@ func runOne(name, patternPath, modeStr string, scale int, f runFlags) {
 	res, err := spec.Run(opts)
 	if err != nil {
 		fatal(err)
+	}
+	if spanRec != nil {
+		rootSpan.End()
+		if err := writeSpanTrace(f.spanTrace, spanRec); err != nil {
+			fatal(err)
+		}
 	}
 	if traceOut != nil {
 		if err := opts.Trace.Close(); err != nil {
@@ -296,6 +312,41 @@ func runOne(name, patternPath, modeStr string, scale int, f runFlags) {
 	if f.verbose {
 		fmt.Println(res.Stats)
 	}
+}
+
+// phaseSpans adapts the strictly nested OnPhase begin/end pairs into
+// child spans under the run's root span (the CLI twin of dx100d's
+// in-daemon adapter).
+func phaseSpans(rec *span.Recorder, parent span.Context) func(string, bool) {
+	var stack []*span.Span
+	return func(name string, begin bool) {
+		if begin {
+			p := parent
+			if n := len(stack); n > 0 {
+				p = stack[n-1].Context()
+			}
+			stack = append(stack, rec.Start("phase."+name, p))
+			return
+		}
+		if n := len(stack); n > 0 {
+			stack[n-1].End()
+			stack = stack[:n-1]
+		}
+	}
+}
+
+// writeSpanTrace dumps the recorded lifecycle spans as a Chrome
+// trace_event document.
+func writeSpanTrace(path string, rec *span.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = rec.WriteChrome(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeTimeline dumps the sampled timeline and the stall breakdown as

@@ -111,6 +111,15 @@ type Cache struct {
 	cPrefetches *sim.Counter
 	cWritebacks *sim.Counter
 
+	// classify, when non-nil, attributes demand hits and misses to an
+	// access class (hub vs tail data, say) beside the regular counters.
+	// The class counters live in the caller's own registry, never in
+	// the run's stats — classification is observation only and must not
+	// perturb the Result wire form.
+	classify    func(line memspace.PAddr) int
+	classHits   []*sim.Counter
+	classMisses []*sim.Counter
+
 	// trace, when non-nil, receives fill and eviction events. Both emit
 	// sites are nil-guarded; tracing off costs one branch per fill.
 	trace *obs.Sink
@@ -148,6 +157,34 @@ func (c *Cache) AttachTrace(sink *obs.Sink) { c.trace = sink }
 // SetDeferred implements sim.Deferrable (nil restores direct engine
 // access). Only meaningful for core-private levels.
 func (c *Cache) SetDeferred(d *sim.Deferred) { c.def = d }
+
+// SetAccessClasses installs a demand-access classifier: classify maps
+// a line address to an index into hits/misses (negative leaves the
+// access unattributed). Class bumps ride the same deferral path as the
+// base counters, so installation is shard-safe; a nil classify
+// uninstalls. MSHR-merged accesses are neither hits nor misses in the
+// base model and stay unattributed here too.
+func (c *Cache) SetAccessClasses(classify func(line memspace.PAddr) int, hits, misses []*sim.Counter) {
+	if classify != nil && len(hits) != len(misses) {
+		panic("cache: SetAccessClasses needs matching hit/miss counter slices")
+	}
+	c.classify = classify
+	c.classHits = hits
+	c.classMisses = misses
+}
+
+// bumpClass attributes one demand hit or miss to its access class.
+func (c *Cache) bumpClass(line memspace.PAddr, hit bool) {
+	k := c.classify(line)
+	if k < 0 || k >= len(c.classHits) {
+		return
+	}
+	if hit {
+		c.bump(c.classHits[k])
+	} else {
+		c.bump(c.classMisses[k])
+	}
+}
 
 // after schedules fn like eng.After, routed through the deferral
 // buffer while one is attached.
@@ -289,6 +326,9 @@ func (c *Cache) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone fun
 		}
 		c.bump(c.cAccesses)
 		c.bump(c.cHits)
+		if c.classify != nil {
+			c.bumpClass(lineAddr, true)
+		}
 		c.stamp++
 		ln.used = c.stamp
 		if kind == Store {
@@ -308,6 +348,9 @@ func (c *Cache) Access(now sim.Cycle, addr memspace.PAddr, kind Kind, onDone fun
 	if kind != Prefetch {
 		c.bump(c.cAccesses)
 		c.bump(c.cMisses)
+		if c.classify != nil {
+			c.bumpClass(lineAddr, false)
+		}
 	} else {
 		c.bump(c.cPrefetches)
 	}

@@ -244,6 +244,34 @@ func (a *Accel) TileReady(t uint8) bool { return a.tileRefs[t] == 0 }
 // the credit signal host drivers use for flow control.
 func (a *Accel) QueueLen() int { return len(a.queue) - a.qHead }
 
+// TilesBusy counts the tiles currently referenced by queued or
+// in-flight instructions (ready bit low) — the utilization half of the
+// simprof tile probes.
+func (a *Accel) TilesBusy() int {
+	n := 0
+	for _, r := range a.tileRefs {
+		if r > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TileFill sums the fill fraction (elements held / TileElems) of the
+// busy tiles; divided by TilesBusy it is the mean occupancy of the
+// tiles actually in use. Skewed graphs underfill tiles because
+// chunking is sized by the worst-case hub degree — this probe makes
+// that visible on the timeline (ROADMAP item 4).
+func (a *Accel) TileFill() float64 {
+	sum := 0.0
+	for t, r := range a.tileRefs {
+		if r > 0 {
+			sum += float64(a.m.Tile(uint8(t)).Size()) / float64(a.cfg.Machine.TileElems)
+		}
+	}
+	return sum
+}
+
 // RetiredInstrs returns the count of fully completed instructions.
 func (a *Accel) RetiredInstrs() int { return a.retired }
 

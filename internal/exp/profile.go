@@ -6,6 +6,7 @@ import (
 	"dx100/internal/obs"
 	"dx100/internal/obs/prof"
 	"dx100/internal/sim"
+	"dx100/internal/workloads"
 )
 
 // profiler owns one run's simprof state: the windowed sampler with its
@@ -26,10 +27,12 @@ type profiler struct {
 // and row-hit rate as windowed ratios (mirroring the run-level
 // formulas in dram.System), per-channel request-buffer occupancy as
 // instantaneous gauges, cache MPKI over the window's instructions,
-// the DX100 request-queue depth, and the engine's fast-forward skip
-// ratio. Probes only read counters and queue lengths — sampling cannot
-// perturb the run (TestProfileResultNeutral pins this).
-func newProfiler(s *system, opts RunOptions) *profiler {
+// the DX100 request-queue depth, tile utilization/occupancy, the
+// engine's fast-forward skip ratio, and — when the instance carries a
+// hub/tail classifier — per-access-class LLC hit attribution. Probes
+// only read counters and queue lengths — sampling cannot perturb the
+// run (TestProfileResultNeutral pins this).
+func newProfiler(s *system, inst *workloads.Instance, opts RunOptions) *profiler {
 	p := &profiler{sampler: prof.NewSampler(uint64(opts.ProfileWindow))}
 	for _, c := range s.cores {
 		a := &prof.CoreAccount{}
@@ -83,6 +86,56 @@ func newProfiler(s *system, opts RunOptions) *profiler {
 			}
 			return float64(t)
 		})
+		// Tile utilization (busy fraction across all instances) and mean
+		// fill of the busy tiles, both instantaneous gauges — the
+		// skew-collapse investigation's primary evidence (ROADMAP item
+		// 4: chunking sized by the capped hub degree underfills tiles).
+		tiles := float64(len(accels) * s.cfg.Accel.Machine.Tiles)
+		p.sampler.Gauge("dx100.tile_util", func() float64 {
+			busy := 0
+			for _, a := range accels {
+				busy += a.TilesBusy()
+			}
+			return float64(busy) / tiles
+		})
+		p.sampler.Gauge("dx100.tile_occupancy", func() float64 {
+			busy, fill := 0, 0.0
+			for _, a := range accels {
+				busy += a.TilesBusy()
+				fill += a.TileFill()
+			}
+			if busy == 0 {
+				return 0
+			}
+			return fill / float64(busy)
+		})
+	}
+
+	// Hub/tail hit attribution: when the workload marks its hot node
+	// set (skewed graphs), classify the LLC's demand hits and misses
+	// per class. The class counters live in a profiler-private registry
+	// — the run's stats (and therefore the Result wire form) never see
+	// them, which TestSpanResultNeutral and the byte-identity pins rely
+	// on.
+	if inst != nil && inst.HotClass != nil {
+		side := obs.NewRegistry()
+		hubH := side.Counter("llc.hub.hits")
+		hubM := side.Counter("llc.hub.misses")
+		tailH := side.Counter("llc.tail.hits")
+		tailM := side.Counter("llc.tail.misses")
+		s.hier.LLC.SetAccessClasses(inst.HotClass,
+			[]*sim.Counter{hubH, tailH}, []*sim.Counter{hubM, tailM})
+		p.sampler.Ratio("llc.hub_hit_rate",
+			func() float64 { return hubH.Value() },
+			func() float64 { return hubH.Value() + hubM.Value() })
+		p.sampler.Ratio("llc.tail_hit_rate",
+			func() float64 { return tailH.Value() },
+			func() float64 { return tailH.Value() + tailM.Value() })
+		p.sampler.Ratio("llc.hub_access_frac",
+			func() float64 { return hubH.Value() + hubM.Value() },
+			func() float64 {
+				return hubH.Value() + hubM.Value() + tailH.Value() + tailM.Value()
+			})
 	}
 
 	eng := s.eng

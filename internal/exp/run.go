@@ -289,6 +289,22 @@ type RunOptions struct {
 	// checkpoint, every later run with the same key restores it. Only
 	// consulted when the config has WarmLLC set.
 	WarmStore *ckpt.Store
+	// OnPhase, when non-nil, observes the run's lifecycle phases as
+	// begin/end pairs: "warmup" around prepare (restore / LLC warm-up /
+	// checkpointing), and under interval sampling "sample.detail" /
+	// "sample.functional" around every window. Phases nest strictly, so
+	// a span stack reconstructs the hierarchy — dx100d turns them into
+	// lifecycle spans on the job's trace. Called from the simulating
+	// goroutine; like every hook here it is observation only and must
+	// not mutate the run.
+	OnPhase func(phase string, begin bool)
+}
+
+// phase invokes the OnPhase hook when installed.
+func (o RunOptions) phase(name string, begin bool) {
+	if o.OnPhase != nil {
+		o.OnPhase(name, begin)
+	}
 }
 
 // attachTrace hooks every component's emit sites to the sink. A nil
@@ -405,11 +421,14 @@ func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions
 	}
 	var p *profiler
 	if opts.ProfileWindow > 0 {
-		p = newProfiler(s, opts)
+		p = newProfiler(s, inst, opts)
 	}
 	s.installCheck(opts, p)
 	s.attachTrace(opts.Trace)
-	if err := s.prepare(inst, opts); err != nil {
+	opts.phase("warmup", true)
+	err := s.prepare(inst, opts)
+	opts.phase("warmup", false)
+	if err != nil {
 		return Result{}, err
 	}
 	start := s.eng.Now()
@@ -433,10 +452,9 @@ func RunInstanceOpts(inst *workloads.Instance, cfg SystemConfig, opts RunOptions
 	var (
 		end sim.Cycle
 		sst *SamplingStats
-		err error
 	)
 	if opts.Sampling != nil {
-		end, sst, err = s.runSampled(*opts.Sampling)
+		end, sst, err = s.runSampled(*opts.Sampling, opts.OnPhase)
 	} else {
 		end, err = s.run()
 	}

@@ -115,8 +115,16 @@ func (s *system) drainAccels() int {
 // core has retired its stream, detailed or functionally. It returns
 // the engine cycle at completion (detailed cycles only — the clock
 // freezes during functional phases) and the sampler's statistics.
-func (s *system) runSampled(scfg SamplingConfig) (sim.Cycle, *SamplingStats, error) {
+// onPhase, when non-nil, observes every detailed and functional phase
+// as begin/end pairs ("sample.detail" / "sample.functional") — the
+// lifecycle-span feed.
+func (s *system) runSampled(scfg SamplingConfig, onPhase func(string, bool)) (sim.Cycle, *SamplingStats, error) {
 	scfg = scfg.withDefaults()
+	phase := func(name string, begin bool) {
+		if onPhase != nil {
+			onPhase(name, begin)
+		}
+	}
 	ex := &sample.Executor{Eng: s.eng, Cores: s.cores, Drain: s.drainAccels}
 	done := s.allDone
 	start := s.eng.Now()
@@ -146,8 +154,10 @@ func (s *system) runSampled(scfg SamplingConfig) (sim.Cycle, *SamplingStats, err
 		// a caller-side predicate overshoots by a jump- or epoch-window-
 		// dependent amount, which would make sampled estimates differ
 		// between the serial and sharded engines.
+		phase("sample.detail", true)
 		if scfg.Warmup > 0 {
 			if _, err := s.eng.RunUntil(s.eng.Now()+scfg.Warmup, done); err != nil {
+				phase("sample.detail", false)
 				return 0, nil, err
 			}
 		}
@@ -155,8 +165,10 @@ func (s *system) runSampled(scfg SamplingConfig) (sim.Cycle, *SamplingStats, err
 		i0, sp0 := instr(), spin()
 		b0, dc0 := s.stats.Get("dram.bytes"), s.stats.Get("dram.cycles")
 		if _, err := s.eng.RunUntil(m0+scfg.Detail, done); err != nil {
+			phase("sample.detail", false)
 			return 0, nil, err
 		}
+		phase("sample.detail", false)
 		// The run can end inside the window; measure the cycles that
 		// actually elapsed.
 		if dc := float64(s.eng.Now() - m0); dc > 0 {
@@ -174,18 +186,22 @@ func (s *system) runSampled(scfg SamplingConfig) (sim.Cycle, *SamplingStats, err
 		}
 		// Hand over: stop fetch, let in-flight work complete under
 		// detailed timing, then fast-forward functionally.
+		phase("sample.functional", true)
 		ex.Pause()
 		if _, err := s.eng.Run(func() bool { return done() || s.quiescent() }); err != nil {
 			ex.Resume()
+			phase("sample.functional", false)
 			return 0, nil, err
 		}
 		if done() {
 			ex.Resume()
+			phase("sample.functional", false)
 			break
 		}
 		w, allDone := ex.Advance(scfg.Interval)
 		st.FunctionalInstructions += float64(w)
 		ex.Resume()
+		phase("sample.functional", false)
 		if allDone {
 			break
 		}

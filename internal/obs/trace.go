@@ -46,6 +46,19 @@ const (
 	// counter track overlaying the instant/duration events of the same
 	// trace.
 	EvProfCounter
+	// EvSpan is one completed lifecycle span (see internal/obs/span):
+	// Src is the span name, Cycle the start timestamp in microseconds,
+	// and Args hold [trace_hi, trace_lo, span_id, parent_span_id,
+	// dur_us, status]. The Chrome encoder renders it as a complete
+	// ("ph":"X") event whose args carry the W3C trace/span ids as hex
+	// strings, so Perfetto shows one block per span.
+	EvSpan
+	// EvSpanBegin opens a long-lived async span (Chrome nestable
+	// "ph":"b", matched to its EvSpanEnd by span id). Args as EvSpan
+	// with dur_us unused.
+	EvSpanBegin
+	// EvSpanEnd closes an async span ("ph":"e"). Args as EvSpanBegin.
+	EvSpanEnd
 
 	numKinds
 )
@@ -67,6 +80,27 @@ var kindMeta = [numKinds]struct {
 	EvDXDrain:     {"dx100", "drain", []string{"op", "queue_len"}},
 	EvFastForward: {"engine", "fast_forward", []string{"to", "skipped"}},
 	EvProfCounter: {"prof", "counter", []string{"value"}},
+	EvSpan:        {"span", "span", []string{"trace_hi", "trace_lo", "span_id", "parent_span_id", "dur_us", "status"}},
+	EvSpanBegin:   {"span", "span_begin", []string{"trace_hi", "trace_lo", "span_id", "parent_span_id", "dur_us", "status"}},
+	EvSpanEnd:     {"span", "span_end", []string{"trace_hi", "trace_lo", "span_id", "parent_span_id", "dur_us", "status"}},
+}
+
+// MaskSpans covers the three lifecycle-span kinds — the span
+// recorder's view.
+const MaskSpans = Mask(1<<EvSpan | 1<<EvSpanBegin | 1<<EvSpanEnd)
+
+// SpanEvent builds a span record for the given kind (EvSpan,
+// EvSpanBegin or EvSpanEnd). name becomes Src; startUS is the span's
+// start timestamp in microseconds; the trace and span ids travel
+// bit-packed through Args and come back out as hex strings in both
+// encoders.
+func SpanEvent(kind Kind, startUS uint64, name string, traceHi, traceLo uint64, spanID, parentID uint64, durUS int64, status int64) Event {
+	return Event{
+		Cycle: startUS,
+		Kind:  kind,
+		Src:   name,
+		Args:  [6]int64{int64(traceHi), int64(traceLo), int64(spanID), int64(parentID), durUS, status},
+	}
 }
 
 // CounterEvent builds an EvProfCounter sample: name becomes Src, the
@@ -354,6 +388,12 @@ func appendJSONL(b []byte, ev Event) []byte {
 		b = append(b, "}}"...)
 		return b
 	}
+	if isSpanKind(ev.Kind) {
+		// Trace/span ids are bit-packed; render them as W3C hex strings.
+		b = appendSpanArgs(b, ev)
+		b = append(b, "}}"...)
+		return b
+	}
 	for i, an := range m.args {
 		if i > 0 {
 			b = append(b, ',')
@@ -382,6 +422,9 @@ func appendProfValue(b []byte, ev Event) []byte {
 // channel in the viewer) and 0 otherwise.
 func appendChrome(b []byte, ev Event) []byte {
 	m := kindMeta[ev.Kind]
+	if isSpanKind(ev.Kind) {
+		return appendChromeSpan(b, ev)
+	}
 	if ev.Kind == EvProfCounter {
 		// Counter events ("ph":"C") are named by the probe so each one
 		// gets its own counter track in the viewer.
@@ -421,6 +464,70 @@ func appendChrome(b []byte, ev Event) []byte {
 		b = append(b, `":`...)
 		b = strconv.AppendInt(b, ev.Args[i], 10)
 	}
+	b = append(b, "}}"...)
+	return b
+}
+
+func isSpanKind(k Kind) bool { return k == EvSpan || k == EvSpanBegin || k == EvSpanEnd }
+
+// appendHex appends v as exactly 2*n lowercase hex digits (the W3C
+// traceparent field encoding; n is the id width in bytes).
+func appendHex(b []byte, v uint64, n int) []byte {
+	const digits = "0123456789abcdef"
+	for i := n*8 - 4; i >= 0; i -= 4 {
+		b = append(b, digits[(v>>uint(i))&0xf])
+	}
+	return b
+}
+
+// appendSpanArgs renders a span event's identifiers and status as the
+// shared args body of both encoders.
+func appendSpanArgs(b []byte, ev Event) []byte {
+	b = append(b, `"trace_id":"`...)
+	b = appendHex(b, uint64(ev.Args[0]), 8)
+	b = appendHex(b, uint64(ev.Args[1]), 8)
+	b = append(b, `","span_id":"`...)
+	b = appendHex(b, uint64(ev.Args[2]), 8)
+	b = append(b, '"')
+	if ev.Args[3] != 0 {
+		b = append(b, `,"parent_span_id":"`...)
+		b = appendHex(b, uint64(ev.Args[3]), 8)
+		b = append(b, '"')
+	}
+	b = append(b, `,"status":`...)
+	b = strconv.AppendInt(b, ev.Args[5], 10)
+	return b
+}
+
+// appendChromeSpan renders a span event as a Chrome trace_event
+// object: EvSpan becomes a complete event ("ph":"X") with its duration,
+// EvSpanBegin/EvSpanEnd become nestable async events ("b"/"e") matched
+// by span id. Each trace gets its own lane: the thread id is the low
+// half of the trace id, so concurrent requests do not interleave on
+// one track.
+func appendChromeSpan(b []byte, ev Event) []byte {
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, ev.Src)
+	b = append(b, `,"cat":"span"`...)
+	switch ev.Kind {
+	case EvSpan:
+		b = append(b, `,"ph":"X","dur":`...)
+		b = strconv.AppendInt(b, ev.Args[4], 10)
+	case EvSpanBegin:
+		b = append(b, `,"ph":"b","id":"0x`...)
+		b = appendHex(b, uint64(ev.Args[2]), 8)
+		b = append(b, '"')
+	case EvSpanEnd:
+		b = append(b, `,"ph":"e","id":"0x`...)
+		b = appendHex(b, uint64(ev.Args[2]), 8)
+		b = append(b, '"')
+	}
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendUint(b, ev.Cycle, 10)
+	b = append(b, `,"pid":0,"tid":`...)
+	b = strconv.AppendUint(b, uint64(uint32(uint64(ev.Args[1]))), 10)
+	b = append(b, `,"args":{`...)
+	b = appendSpanArgs(b, ev)
 	b = append(b, "}}"...)
 	return b
 }

@@ -1,0 +1,21 @@
+package serve
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the entire live dashboard: one self-contained page
+// (inline CSS + vanilla JS, no external assets or CDNs) compiled into
+// the binary, so GET /dashboard works on an air-gapped host. It polls
+// /metrics.json and /v1/runs every two seconds and streams the
+// selected run's sampled telemetry over the SSE events feed.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(dashboardHTML)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dx100/internal/exp"
+	"dx100/internal/obs/span"
 )
 
 // State is a job's lifecycle position.
@@ -25,11 +26,21 @@ func (s State) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// event is one server-sent event: a name and a JSON payload.
+// event is one server-sent event: a name, a JSON payload, and the
+// job's monotonically increasing sequence number, which becomes the
+// SSE `id:` field so a reconnecting client resumes exactly where it
+// left off (Last-Event-ID).
 type event struct {
+	seq  uint64
 	name string
 	data json.RawMessage
 }
+
+// ledgerCap bounds the per-job replay ledger. Events beyond it age
+// out oldest-first; a client resuming from before the ledger's start
+// simply misses those rows, the same as any SSE stream under
+// retention pressure.
+const ledgerCap = 4096
 
 // job is one submitted experiment. Its id is the content address of
 // the fully-resolved spec, which is what makes identical submissions
@@ -46,6 +57,17 @@ type job struct {
 	// not part of id, so submissions differing only here coalesce.
 	shards int
 
+	// Lifecycle tracing: spans records the job's phase spans (served at
+	// GET /v1/runs/{id}/trace), trace is the job's root span context
+	// (echoed in the status view and correlated into the slog lines).
+	// rootSpan is the async whole-job span, queueSpan covers
+	// submit→start. All are nil/zero for jobs built outside the HTTP
+	// handlers; every use is nil-safe.
+	spans     *span.Recorder
+	trace     span.Context
+	rootSpan  *span.Span
+	queueSpan *span.Span
+
 	mu         sync.Mutex
 	state      State
 	wantCancel bool
@@ -58,6 +80,8 @@ type job struct {
 	cancel     context.CancelFunc
 	subs       map[chan event]struct{}
 	done       chan struct{} // closed on entering a terminal state
+	seq        uint64        // last assigned event sequence number
+	ledger     []event       // replay window for Last-Event-ID resume
 }
 
 func newJob(id, kind string) *job {
@@ -73,7 +97,7 @@ func newJob(id, kind string) *job {
 
 // start transitions queued -> running, wiring the cancel func. It
 // reports false when the job was canceled while queued (the worker
-// then skips it).
+// then skips it). Ends the queue-wait span.
 func (j *job) start(cancel context.CancelFunc) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -83,11 +107,14 @@ func (j *job) start(cancel context.CancelFunc) bool {
 	j.state = StateRunning
 	j.started = time.Now().UTC()
 	j.cancel = cancel
+	j.queueSpan.End()
+	j.queueSpan = nil
 	return true
 }
 
 // finish records the terminal state, wakes status pollers and streams
-// the final event to subscribers.
+// the final event to subscribers, and closes the job's lifecycle
+// spans.
 func (j *job) finish(result json.RawMessage, err error) {
 	j.mu.Lock()
 	if j.state.terminal() {
@@ -106,12 +133,8 @@ func (j *job) finish(result json.RawMessage, err error) {
 	j.result = result
 	j.finished = time.Now().UTC()
 	payload, _ := json.Marshal(map[string]string{"id": j.id, "status": string(final)})
-	for ch := range j.subs {
-		select {
-		case ch <- event{name: string(final), data: payload}:
-		default: // slow subscriber: it will observe `done` and re-poll
-		}
-	}
+	j.publishLocked(string(final), payload)
+	j.endSpansLocked(final)
 	close(j.done)
 	j.mu.Unlock()
 }
@@ -127,14 +150,28 @@ func (j *job) canceledWhileQueued() bool {
 	j.state = StateCanceled
 	j.errMsg = "canceled before execution"
 	payload, _ := json.Marshal(map[string]string{"id": j.id, "status": string(StateCanceled)})
-	for ch := range j.subs {
-		select {
-		case ch <- event{name: string(StateCanceled), data: payload}:
-		default:
-		}
-	}
+	j.publishLocked(string(StateCanceled), payload)
+	j.endSpansLocked(StateCanceled)
 	close(j.done)
 	return true
+}
+
+// endSpansLocked closes the job's lifecycle spans with a status code
+// (0 done, 1 failed, 2 canceled). Must be called with j.mu held; every
+// span method is nil-safe so untraced jobs cost nothing.
+func (j *job) endSpansLocked(final State) {
+	status := int64(0)
+	switch final {
+	case StateFailed:
+		status = 1
+	case StateCanceled:
+		status = 2
+	}
+	j.queueSpan.End()
+	j.queueSpan = nil
+	j.rootSpan.SetStatus(status)
+	j.rootSpan.End()
+	j.rootSpan = nil
 }
 
 // requestCancel cancels a running job's context (a queued job is
@@ -155,34 +192,59 @@ func (j *job) requestCancel() bool {
 // cancelRequested must be called with j.mu held.
 func (j *job) cancelRequested() bool { return j.wantCancel }
 
-// publishProgress stores the latest progress payload and fans it out
-// to subscribers. Drops on slow subscribers — progress is a stream of
-// samples, not a ledger.
-func (j *job) publishProgress(data json.RawMessage) {
-	j.mu.Lock()
-	j.progress = data
+// publishLocked stamps the next sequence number on an event, appends
+// it to the replay ledger and fans it out to subscribers. Slow
+// subscribers drop live events but recover them on reconnect via
+// Last-Event-ID replay. Must be called with j.mu held.
+func (j *job) publishLocked(name string, data json.RawMessage) {
+	j.seq++
+	ev := event{seq: j.seq, name: name, data: data}
+	j.ledger = append(j.ledger, ev)
+	if len(j.ledger) >= 2*ledgerCap {
+		// Amortized trim: copy the newest ledgerCap rows down rather
+		// than re-slicing, so the aged-out prefix is actually freed.
+		n := copy(j.ledger, j.ledger[len(j.ledger)-ledgerCap:])
+		j.ledger = j.ledger[:n]
+	}
 	for ch := range j.subs {
 		select {
-		case ch <- event{name: "progress", data: data}:
+		case ch <- ev:
 		default:
 		}
 	}
+}
+
+// publishProgress stores the latest progress payload and fans it out
+// to subscribers.
+func (j *job) publishProgress(data json.RawMessage) {
+	j.mu.Lock()
+	j.progress = data
+	j.publishLocked("progress", data)
 	j.mu.Unlock()
 }
 
 // publishTimeline fans one sampled telemetry row out to subscribers as
-// a `timeline` event. Like progress, rows are dropped on slow
-// subscribers — the complete timeline is served after the run via
-// GET /v1/runs/{id}/timeline.
+// a `timeline` event. The complete timeline is also served after the
+// run via GET /v1/runs/{id}/timeline.
 func (j *job) publishTimeline(data json.RawMessage) {
 	j.mu.Lock()
-	for ch := range j.subs {
-		select {
-		case ch <- event{name: "timeline", data: data}:
-		default:
-		}
-	}
+	j.publishLocked("timeline", data)
 	j.mu.Unlock()
+}
+
+// replaySince snapshots the ledger rows with sequence numbers above
+// lastID, for an SSE client resuming with Last-Event-ID.
+func (j *job) replaySince(lastID uint64) []event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// The ledger is sorted by seq; find the first row past lastID.
+	i := len(j.ledger)
+	for i > 0 && j.ledger[i-1].seq > lastID {
+		i--
+	}
+	out := make([]event, len(j.ledger)-i)
+	copy(out, j.ledger[i:])
+	return out
 }
 
 // setTimeline stores the finished timeline document for the timeline
@@ -222,6 +284,7 @@ type statusView struct {
 	Result   json.RawMessage `json:"result,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Cached   bool            `json:"cached,omitempty"`
+	TraceID  string          `json:"trace_id,omitempty"`
 }
 
 // view snapshots the job for the status endpoint.
@@ -236,6 +299,9 @@ func (j *job) view() statusView {
 		Progress: j.progress,
 		Result:   j.result,
 		Error:    j.errMsg,
+	}
+	if j.trace.Valid() {
+		v.TraceID = j.trace.Trace.String()
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"sync"
 	"time"
 
 	"dx100/internal/exp"
@@ -52,7 +54,36 @@ func (s *Server) initMetrics() {
 		return 0
 	})
 	m.reg.GaugeFunc("uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
+
+	// Go-runtime health, func-backed so each scrape sees live values.
+	// ReadMemStats stops the world briefly, so its result is cached for
+	// a second and shared by the three memory gauges — a dashboard
+	// polling at 2s never pays it twice.
+	mem := cachedMemStats()
+	m.reg.GaugeFunc("go.goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	m.reg.GaugeFunc("go.heap_alloc_bytes", func() float64 { return float64(mem().HeapAlloc) })
+	m.reg.GaugeFunc("go.heap_objects", func() float64 { return float64(mem().HeapObjects) })
+	m.reg.CounterFunc("go.gc_pause_seconds_total", func() float64 {
+		return float64(mem().PauseTotalNs) / 1e9
+	})
 	s.metrics = m
+}
+
+// cachedMemStats returns a ReadMemStats accessor memoized for one
+// second.
+func cachedMemStats() func() *runtime.MemStats {
+	var mu sync.Mutex
+	var ms runtime.MemStats
+	var at time.Time
+	return func() *runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if now := time.Now(); now.Sub(at) > time.Second {
+			runtime.ReadMemStats(&ms)
+			at = now
+		}
+		return &ms
+	}
 }
 
 // handleMetrics serves the daemon's service-level metrics in Prometheus
@@ -63,7 +94,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snap := s.metrics.reg.Snapshot()
 	if err := snap.WritePrometheus(w, "dx100d_"); err != nil {
-		s.logf("metrics write: %v", err)
+		s.log.Warn("metrics write failed", "err", err)
 	}
 	// Summary-style quantile estimates beside the raw buckets, so a
 	// plain scrape shows job latency without a histogram_quantile query.
@@ -73,6 +104,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("%g", q), h.Quantile(q))
 		}
 	}
+}
+
+// handleMetricsJSON serves the same service-level snapshot as
+// /metrics, but as JSON with the job-duration quantiles precomputed —
+// the dashboard's polling endpoint (no Prometheus text parsing in the
+// browser).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.reg.Snapshot()
+	quantiles := map[string]float64{}
+	if h, ok := snap.Histograms["job.duration_seconds"]; ok && h.Count > 0 {
+		quantiles["p50"] = h.Quantile(0.5)
+		quantiles["p95"] = h.Quantile(0.95)
+		quantiles["p99"] = h.Quantile(0.99)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"counters":               snap.Counters,
+		"gauges":                 snap.Gauges,
+		"job_duration_quantiles": quantiles,
+	})
 }
 
 // handleRunMetrics serves one finished run's simulator statistics —
@@ -108,6 +158,6 @@ func (s *Server) handleRunMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snap := res.Stats.Registry().Snapshot()
 	if err := snap.WritePrometheus(w, "dx100_run_", obs.Label{Key: "run", Value: id}); err != nil {
-		s.logf("run metrics write: %v", err)
+		s.log.Warn("run metrics write failed", "err", err)
 	}
 }

@@ -25,7 +25,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -35,6 +36,7 @@ import (
 
 	"dx100/internal/exp"
 	"dx100/internal/obs/prof"
+	"dx100/internal/obs/span"
 	"dx100/internal/sim"
 	"dx100/internal/workloads"
 	"dx100/internal/workloads/pattern"
@@ -72,17 +74,30 @@ type Config struct {
 	// byte-identical to unprofiled runs — the profile travels beside
 	// the Result, never inside it.
 	ProfileWindow sim.Cycle
-	// Log receives operational messages; nil discards them.
-	Log *log.Logger
+	// Logger receives structured operational logs (one line per HTTP
+	// request and per job transition, correlated by trace_id/span_id);
+	// nil discards them. dx100d wires a JSON handler on stderr.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: the profiling surface exposes heap contents and should
+	// only face operators.
+	Pprof bool
 }
 
 // Server is the experiment service. Create with New, serve via
 // Handler, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	q     *queue[*job]
-	mux   *http.ServeMux
+	cfg     Config
+	cache   *Cache
+	q       *queue[*job]
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the tracing/logging middleware
+	log     *slog.Logger
+
+	// httpSpans records the request-level spans the middleware opens;
+	// per-job lifecycle spans live in each job's own recorder so GET
+	// /v1/runs/{id}/trace serves exactly that run's trace.
+	httpSpans *span.Recorder
 
 	ctx    context.Context // canceled only when Shutdown gives up waiting
 	cancel context.CancelFunc
@@ -117,25 +132,38 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		cache:  cache,
-		q:      newQueue[*job](cfg.QueueDepth),
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   make(map[string]*job),
-		start:  time.Now(),
+		cfg:       cfg,
+		cache:     cache,
+		q:         newQueue[*job](cfg.QueueDepth),
+		log:       cfg.Logger,
+		httpSpans: span.NewRecorder(0),
+		ctx:       ctx,
+		cancel:    cancel,
+		jobs:      make(map[string]*job),
+		start:     time.Now(),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/metrics", s.handleRunMetrics)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/runs/{id}/timeline", s.handleTimeline)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	if cfg.Pprof {
+		registerPprof(s.mux)
+	}
+	s.handler = s.traceMiddleware(s.mux)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -143,18 +171,13 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP surface: the route mux wrapped in the
+// tracing + structured-logging middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // SimRuns reports how many simulations the server has actually
 // executed (cache hits excluded).
 func (s *Server) SimRuns() int64 { return s.simRuns.Load() }
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Log != nil {
-		s.cfg.Log.Printf(format, args...)
-	}
-}
 
 // Shutdown drains the service: no new submissions are accepted, queued
 // and running jobs are completed, then the workers exit. If ctx
@@ -206,6 +229,8 @@ func (s *Server) execute(j *job) {
 	if !j.start(cancel) {
 		return // canceled while queued
 	}
+	s.log.Info("job started", "job", j.id[:12], "kind", j.kind,
+		"trace_id", j.trace.Trace.String())
 	s.metrics.inFlight.Add(1)
 	began := time.Now()
 	defer func() {
@@ -223,17 +248,24 @@ func (s *Server) execute(j *job) {
 		err = fmt.Errorf("serve: unknown job kind %q", j.kind)
 	}
 	if err != nil {
-		s.logf("job %s failed: %v", j.id[:12], err)
+		s.log.Warn("job failed", "job", j.id[:12], "kind", j.kind,
+			"trace_id", j.trace.Trace.String(), "err", err,
+			"elapsed", time.Since(began))
 		s.metrics.jobsFailed.Inc()
 		j.finish(nil, err)
 		return
 	}
 	s.metrics.jobsDone.Inc()
-	if cerr := s.cache.Put(j.id, out); cerr != nil {
+	put := j.spans.Start("cache.put", j.trace)
+	cerr := s.cache.Put(j.id, out)
+	put.End()
+	if cerr != nil {
 		// The run succeeded; a cache-write failure only costs a rerun
 		// later. Log and carry on.
-		s.logf("cache put %s: %v", j.id[:12], cerr)
+		s.log.Warn("cache put failed", "job", j.id[:12], "err", cerr)
 	}
+	s.log.Info("job done", "job", j.id[:12], "kind", j.kind,
+		"trace_id", j.trace.Trace.String(), "elapsed", time.Since(began))
 	j.finish(out, nil)
 }
 
@@ -243,9 +275,11 @@ func (s *Server) executeRun(ctx context.Context, j *job) (json.RawMessage, error
 	if shards == 0 {
 		shards = s.cfg.Shards
 	}
+	runSpan := j.spans.Start("run", j.trace)
 	opts := exp.RunOptions{
 		Context: ctx,
 		Shards:  shards,
+		OnPhase: phaseSpans(j.spans, runSpan.Context()),
 		Progress: func(p exp.ProgressSample) {
 			if b, err := json.Marshal(p); err == nil {
 				j.publishProgress(b)
@@ -265,9 +299,12 @@ func (s *Server) executeRun(ctx context.Context, j *job) (json.RawMessage, error
 		}
 	}
 	res, err := j.spec.Run(opts)
+	runSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	enc := j.spans.Start("encode", j.trace)
+	defer enc.End()
 	if res.Timeline != nil {
 		// Keep the profile beside the Result, not inside it: the cached
 		// and served Result bytes must match an unprofiled `dx100sim
@@ -317,14 +354,22 @@ func (s *Server) submit(j *job) (*job, bool, error) {
 			return existing, done, nil
 		}
 	}
-	if cached, ok := s.cache.Get(j.id); ok {
+	lookup := j.spans.Start("cache.lookup", j.trace)
+	cached, hit := s.cache.Get(j.id)
+	lookup.End()
+	if hit {
 		// Materialize a terminal job so status/events work uniformly.
 		s.metrics.cacheHits.Inc()
 		j.finish(cached, nil)
 		s.jobs[j.id] = j
 		return j, true, nil
 	}
+	// The queue-wait span opens here and closes in job.start (or when
+	// the job is canceled while still queued).
+	j.queueSpan = j.spans.Start("queue.wait", j.trace)
 	if err := s.q.Push(j); err != nil {
+		j.queueSpan.End()
+		j.queueSpan = nil
 		return nil, false, err
 	}
 	s.jobs[j.id] = j
@@ -431,9 +476,10 @@ func (rr runRequest) resolve() (exp.Spec, error) {
 }
 
 type submitResponse struct {
-	ID     string `json:"id"`
-	Status State  `json:"status"`
-	Cached bool   `json:"cached"`
+	ID      string `json:"id"`
+	Status  State  `json:"status"`
+	Cached  bool   `json:"cached"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // --- handlers ----------------------------------------------------------
@@ -457,6 +503,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	j := newJob(id, "run")
 	j.spec = spec
 	j.shards = rr.Shards
+	s.initTrace(j, r)
 	s.finishSubmit(w, j)
 }
 
@@ -473,6 +520,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	j := newJob(id, "figure")
 	j.fig = fig
+	s.initTrace(j, r)
 	s.finishSubmit(w, j)
 }
 
@@ -495,7 +543,11 @@ func (s *Server) finishSubmit(w http.ResponseWriter, j *job) {
 	got.mu.Lock()
 	st := got.state
 	got.mu.Unlock()
-	writeJSON(w, http.StatusAccepted, submitResponse{ID: got.id, Status: st, Cached: cached})
+	resp := submitResponse{ID: got.id, Status: st, Cached: cached}
+	if got.trace.Valid() {
+		resp.TraceID = got.trace.Trace.String()
+	}
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func (s *Server) lookup(id string) *job {
@@ -535,7 +587,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // `progress` events carrying samples (plus `timeline` events carrying
 // sampled telemetry rows when the server profiles its runs), then one
 // terminal `done` / `failed` / `canceled` event, after which the
-// stream closes.
+// stream closes. Every event carries the job's sequence number as its
+// SSE id; a reconnecting client sends it back as Last-Event-ID and
+// resumes from exactly the next event (EventSource does this
+// automatically).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j := s.lookup(id)
@@ -543,6 +598,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
 		return
 	}
+	s.streamEvents(w, r, j, false, func(ev event) bool { return true })
+}
+
+// streamEvents is the shared SSE loop behind the events and live
+// timeline endpoints: replay the ledger past the client's Last-Event-ID
+// (or, absent one, the latest progress sample so late subscribers see
+// something immediately — the full ledger instead when replayAll is
+// set), then follow the live feed through the keep filter until the
+// job's terminal event.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *job, replayAll bool, keep func(event) bool) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
@@ -555,17 +620,48 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ch := j.subscribe()
 	defer j.unsubscribe(ch)
 
-	// Replay current state so late subscribers see something
-	// immediately; terminal jobs get their final event and EOF.
+	// lastSeq tracks what this client has seen so the replay and the
+	// live feed never double-deliver (the subscription opened before the
+	// ledger snapshot, so an event can arrive through both).
+	var lastSeq uint64
+	resumed := replayAll
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		if n, err := strconv.ParseUint(lid, 10, 64); err == nil {
+			lastSeq, resumed = n, true
+		}
+	}
+	emit := func(ev event) bool {
+		if ev.seq <= lastSeq || !keep(ev) {
+			return false
+		}
+		lastSeq = ev.seq
+		writeEvent(w, ev)
+		flusher.Flush()
+		return State(ev.name).terminal()
+	}
+
+	if resumed {
+		for _, ev := range j.replaySince(lastSeq) {
+			if emit(ev) {
+				return
+			}
+		}
+	} else {
+		j.mu.Lock()
+		last := j.progress
+		j.mu.Unlock()
+		if last != nil && keep(event{name: "progress", data: last}) {
+			writeEvent(w, event{name: "progress", data: last})
+			flusher.Flush()
+		}
+	}
 	j.mu.Lock()
-	last := j.progress
 	st := j.state
 	j.mu.Unlock()
-	if last != nil {
-		writeEvent(w, event{name: "progress", data: last})
-		flusher.Flush()
-	}
 	if st.terminal() {
+		// The ledger replay may already have delivered the terminal
+		// event; if not (fresh subscriber, or it aged out), synthesize
+		// it so the client always observes closure.
 		payload, _ := json.Marshal(map[string]string{"id": j.id, "status": string(st)})
 		writeEvent(w, event{name: string(st), data: payload})
 		flusher.Flush()
@@ -576,9 +672,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case ev := <-ch:
-			writeEvent(w, ev)
-			flusher.Flush()
-			if State(ev.name).terminal() {
+			if emit(ev) {
 				return
 			}
 		case <-j.done:
@@ -588,9 +682,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			for {
 				select {
 				case ev := <-ch:
-					writeEvent(w, ev)
-					flusher.Flush()
-					if State(ev.name).terminal() {
+					if emit(ev) {
 						return
 					}
 				default:
@@ -607,15 +699,27 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleTimeline serves the finished timeline + stall breakdown of a
-// profiled run. 404 until the run finishes, when the server does not
-// profile, and for cache-restored jobs (the cache stores Results only
-// — profiles are per-execution artifacts).
+// handleTimeline serves a profiled run's timeline. With
+// `Accept: text/event-stream` it streams the live sampled rows as SSE
+// `timeline` events (resumable via Last-Event-ID, ending with the
+// job's terminal event) — the dashboard's sparkline feed. Otherwise it
+// serves the finished timeline + stall breakdown as one JSON document:
+// 404 until the run finishes, when the server does not profile, and
+// for cache-restored jobs (the cache stores Results only — profiles
+// are per-execution artifacts).
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j := s.lookup(id)
 	if j == nil {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		// Full-ledger replay by default: a dashboard attaching mid-run
+		// (or after it) still draws the whole sparkline history.
+		s.streamEvents(w, r, j, true, func(ev event) bool {
+			return ev.name == "timeline" || State(ev.name).terminal()
+		})
 		return
 	}
 	j.mu.Lock()
@@ -679,8 +783,13 @@ func httpError(w http.ResponseWriter, code int, err error) {
 }
 
 // writeEvent emits one SSE frame. Payloads are single-line JSON, so no
-// data-line splitting is needed.
+// data-line splitting is needed. Ledger events carry their sequence
+// number as the SSE id (the Last-Event-ID resume cursor); synthesized
+// frames (seq 0) omit it so they never move the client's cursor.
 func writeEvent(w http.ResponseWriter, ev event) {
+	if ev.seq > 0 {
+		fmt.Fprintf(w, "id: %d\n", ev.seq)
+	}
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dx100/internal/obs"
+	"dx100/internal/obs/span"
 )
 
 // TestEngineZeroAllocsWithNilTrace pins the zero-cost-when-off half of
@@ -42,6 +43,37 @@ func TestEngineZeroAllocsWithNilTrace(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(100, run); n != 0 {
 		t.Fatalf("sparse Run allocates %.1f allocs/op with nil trace, want 0", n)
+	}
+
+	// Check-hook regime with spans disabled: a periodic Check that
+	// drives a nil *span.Recorder — the exact shape instrumented
+	// callers take when tracing is off — must stay free too.
+	e3 := NewEngine()
+	e3.Register(&sparseTicker{period: 1000, limit: 1 << 62})
+	var disabled *span.Recorder
+	checks := 0
+	e3.CheckEvery = 10_000
+	e3.Check = func(now Cycle) error {
+		checks++
+		sp := disabled.Start("check", span.Context{})
+		sp.SetStatus(int64(now))
+		sp.End()
+		return nil
+	}
+	var target3 Cycle
+	done3 := func() bool { return e3.now >= target3 }
+	run3 := func() {
+		target3 = e3.now + 100_000
+		if _, err := e3.Run(done3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run3() // warm up
+	if checks == 0 {
+		t.Fatal("Check hook never fired; the pin measures nothing")
+	}
+	if n := testing.AllocsPerRun(100, run3); n != 0 {
+		t.Fatalf("Run with nil-span Check hook allocates %.1f allocs/op, want 0", n)
 	}
 }
 

@@ -34,6 +34,11 @@ const (
 	// iteration's fused inner range always fits a DX100 tile
 	// (ChunkFor needs MaxRange+2 <= tileElems even at chunk 1).
 	maxHubDegree = 2048
+	// hubDegFactor defines the hub set for hit attribution: a node is a
+	// hub when its out-degree is at least hubDegFactor times the mean.
+	// At the default shape (alpha 2.0, deg 15) this marks ~2-3% of
+	// nodes, which carry the bulk of the indirect traffic.
+	hubDegFactor = 4
 )
 
 // GraphConfig selects one member of the skewed-graph workload family.
@@ -222,13 +227,56 @@ func BuildGraph(cfg GraphConfig, scale int) *Instance {
 	for i, v := range rawEdges {
 		edges[i] = 4 * v
 	}
+	var inst *Instance
 	switch cfg.Kernel {
 	case "pr":
-		return buildGraphPR(cfg, rng, nodes, target, offsets, edges)
+		inst = buildGraphPR(cfg, rng, nodes, target, offsets, edges)
 	case "bfs":
-		return buildGraphBFS(cfg, rng, nodes, target, offsets, edges)
+		inst = buildGraphBFS(cfg, rng, nodes, target, offsets, edges)
+	default:
+		panic(fmt.Sprintf("workloads: unknown graph kernel %q", cfg.Kernel))
 	}
-	panic(fmt.Sprintf("workloads: unknown graph kernel %q", cfg.Kernel))
+	// Hub/tail hit attribution over the indirectly-indexed per-node
+	// arrays (4 padded slots each): profiled runs use it to measure
+	// whether hub locality is what makes the cache hierarchy
+	// competitive under skew (ROADMAP item 4). Uniform graphs have no
+	// hubs and install nothing.
+	if hub := hubNodes(offsets, uint64(hubDegFactor*cfg.Deg)); hub != nil {
+		inst.markHotClass(hotArrays(cfg), hub, 4)
+	}
+	return inst
+}
+
+// hotArrays names the per-node arrays the kernel indexes indirectly —
+// the footprint whose cache behavior the hub/tail probes attribute.
+func hotArrays(cfg GraphConfig) []string {
+	switch {
+	case cfg.Kernel == "pr" && cfg.Dir == "pull":
+		return []string{"C"}
+	case cfg.Kernel == "pr":
+		return []string{"A"}
+	case cfg.Kernel == "bfs" && cfg.Dir == "pull":
+		return []string{"D"}
+	default:
+		return []string{"D", "A"}
+	}
+}
+
+// hubNodes marks the nodes whose degree reaches minDeg; nil when the
+// graph has none (the uniform shapes).
+func hubNodes(offsets []uint64, minDeg uint64) []bool {
+	hub := make([]bool, len(offsets)-1)
+	any := false
+	for v := range hub {
+		if offsets[v+1]-offsets[v] >= minDeg {
+			hub[v] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return hub
 }
 
 // buildGraphPR builds the PageRank contribution pass over the skewed

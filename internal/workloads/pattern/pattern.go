@@ -33,14 +33,14 @@ import (
 // to tens of MB however hostile the input; Compile re-checks them
 // after applying the scale factor.
 const (
-	MaxEntries    = 64        // entries per file
-	MaxPatternLen = 4096      // indices per pattern
-	MaxCount      = 1 << 16   // delta iterations per entry
-	MaxEntryIdx   = 1 << 18   // compiled indices per entry (count * len)
-	MaxEntrySpan  = 1 << 22   // target-array elements per entry
-	MaxFileIdx    = 1 << 20   // compiled indices per file
-	MaxFileSpan   = 1 << 23   // target-array elements per file
-	maxNameLen    = 128       // file/entry name length
+	MaxEntries    = 64      // entries per file
+	MaxPatternLen = 4096    // indices per pattern
+	MaxCount      = 1 << 16 // delta iterations per entry
+	MaxEntryIdx   = 1 << 18 // compiled indices per entry (count * len)
+	MaxEntrySpan  = 1 << 22 // target-array elements per entry
+	MaxFileIdx    = 1 << 20 // compiled indices per file
+	MaxFileSpan   = 1 << 23 // target-array elements per file
+	maxNameLen    = 128     // file/entry name length
 )
 
 // Entry is one gather/scatter loop: count iterations, each accessing

@@ -209,20 +209,20 @@ func TestCanonicalRoundTrip(t *testing.T) {
 // errors, not panics or allocation storms.
 func TestValidateRejects(t *testing.T) {
 	bad := []string{
-		`{}`,                      // no entries
-		`[]`,                      // no entries
-		`[{"kernel": "knife"}]`,   // unknown kernel
-		`[{"kernel": "gather"}]`,  // no pattern
-		`[{"kernel": "gather", "pattern": [-1]}]`,              // negative index
-		`[{"kernel": "gather", "pattern": [0], "count": -2}]`,  // negative count
-		`[{"kernel": "gather", "pattern": [0], "delta": -8}]`,  // negative delta
-		`[{"kernel": "gather", "pattern": [0], "count": 999999999}]`,          // count cap
-		`[{"kernel": "gather", "pattern": [99999999], "count": 1}]`,           // span cap
-		`[{"kernel": "gather", "pattern": [0], "wrap": -3}]`,                  // negative wrap
-		`[{"kernel": "gather", "pattern": [8], "wrap": 4}]`,                   // index outside wrap
-		`[{"kernel": "gs", "pattern_gather": [0]}]`,                           // missing scatter side
+		`{}`,                     // no entries
+		`[]`,                     // no entries
+		`[{"kernel": "knife"}]`,  // unknown kernel
+		`[{"kernel": "gather"}]`, // no pattern
+		`[{"kernel": "gather", "pattern": [-1]}]`,                              // negative index
+		`[{"kernel": "gather", "pattern": [0], "count": -2}]`,                  // negative count
+		`[{"kernel": "gather", "pattern": [0], "delta": -8}]`,                  // negative delta
+		`[{"kernel": "gather", "pattern": [0], "count": 999999999}]`,           // count cap
+		`[{"kernel": "gather", "pattern": [99999999], "count": 1}]`,            // span cap
+		`[{"kernel": "gather", "pattern": [0], "wrap": -3}]`,                   // negative wrap
+		`[{"kernel": "gather", "pattern": [8], "wrap": 4}]`,                    // index outside wrap
+		`[{"kernel": "gs", "pattern_gather": [0]}]`,                            // missing scatter side
 		`[{"kernel": "gs", "pattern_gather": [0], "pattern_scatter": [0, 1]}]`, // length mismatch
-		`[{"kernel": "gather", "pattern": [0, 1], "count": 262144}]`,          // entry index cap
+		`[{"kernel": "gather", "pattern": [0, 1], "count": 262144}]`,           // entry index cap
 		`not json at all`,
 	}
 	for _, in := range bad {

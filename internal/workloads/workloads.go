@@ -39,8 +39,57 @@ type Instance struct {
 	Consume bool
 	// DMP returns the indirect patterns for the DMP prefetcher model.
 	DMP func() []prefetch.Pattern
+	// HotClass, when non-nil, classifies a physical line address of the
+	// indirectly-indexed data: 0 = hub (high-degree node records),
+	// 1 = tail, negative = outside the classified arrays. Profiled runs
+	// install it on the LLC to attribute hits and misses per class
+	// (the llc.hub_* / llc.tail_* timeline probes); it is observation
+	// metadata only and never enters the Result or the content hash.
+	HotClass func(pa memspace.PAddr) int
 
 	arrays map[string]arrayView
+}
+
+// HubClass and TailClass index the HotClass counter slices.
+const (
+	HubClass  = 0
+	TailClass = 1
+)
+
+// markHotClass installs the hub/tail classifier over the named padded
+// per-node arrays (slotsPerNode record slots each): a node is a hub
+// when hub[node] is set. Classification is line-granular — a line is
+// attributed to the node owning its first byte — which is exact enough
+// for hit-rate attribution and keeps the probe O(#arrays) per access.
+func (inst *Instance) markHotClass(names []string, hub []bool, slotsPerNode int) {
+	type paRange struct {
+		lo, hi memspace.PAddr
+		esz    int
+	}
+	var ranges []paRange
+	for _, n := range names {
+		v, ok := inst.arrays[n]
+		if !ok {
+			continue
+		}
+		lo := inst.Space.Translate(v.base)
+		ranges = append(ranges, paRange{lo: lo, hi: lo + memspace.PAddr(v.n*v.esz), esz: v.esz})
+	}
+	if len(ranges) == 0 {
+		return
+	}
+	inst.HotClass = func(pa memspace.PAddr) int {
+		for _, r := range ranges {
+			if pa >= r.lo && pa < r.hi {
+				node := int(pa-r.lo) / r.esz / slotsPerNode
+				if node < len(hub) && hub[node] {
+					return HubClass
+				}
+				return TailClass
+			}
+		}
+		return -1
+	}
 }
 
 type arrayView struct {
